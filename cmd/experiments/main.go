@@ -1,0 +1,103 @@
+// Command experiments reproduces the paper's evaluation: every figure
+// of §7 plus the ablation studies, as text tables.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig6a
+//	experiments -run all [-dblp 4000] [-orku 6000] [-partitions 16]
+//	            [-budget 5m] [-out results/]
+//
+// Dataset sizes default to laptop scale; the paper's absolute numbers
+// used 1.2M–2M rankings on an 8-node Spark cluster. Shapes, not
+// absolute times, are the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rankjoin/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		list       = flag.Bool("list", false, "list available experiments")
+		run        = flag.String("run", "", "experiment name, or 'all'")
+		dblp       = flag.Int("dblp", 0, "DBLP base dataset size (0 = default)")
+		orku       = flag.Int("orku", 0, "ORKU base dataset size (0 = default)")
+		partitions = flag.Int("partitions", 0, "default shuffle partitions (0 = default)")
+		workers    = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+		budget     = flag.Duration("budget", 0, "per-cell time budget (0 = default 5m)")
+		outDir     = flag.String("out", "", "also write each table to <out>/<name>.txt")
+		seed       = flag.Int64("seed", 0, "dataset seed (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Printf("%-20s %s\n", name, experiments.Registry[name].Description)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p := experiments.DefaultParams()
+	if *dblp > 0 {
+		p.DBLPBase = *dblp
+	}
+	if *orku > 0 {
+		p.ORKUBase = *orku
+	}
+	if *partitions > 0 {
+		p.Partitions = *partitions
+	}
+	if *workers > 0 {
+		p.Workers = *workers
+	}
+	if *budget > 0 {
+		p.CellBudget = *budget
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	names := []string{*run}
+	if *run == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		exp, err := experiments.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("running %s ...", name)
+		start := time.Now()
+		table, err := exp.Run(p)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		out := table.Render()
+		fmt.Println(out)
+		log.Printf("%s done in %v", name, time.Since(start).Round(time.Millisecond))
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*outDir, name+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

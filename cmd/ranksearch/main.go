@@ -1,0 +1,99 @@
+// Command ranksearch answers similarity range queries over a top-k
+// ranking dataset using the pivot-based metric index: given query
+// rankings, it prints every indexed ranking within the threshold of
+// each query — the single-query counterpart of the join (in the spirit
+// of the authors' earlier "sweet spot" similarity-search work).
+//
+// Usage:
+//
+//	ranksearch -data rankings.txt -theta 0.2 -query "3 1 4 1 5"
+//	ranksearch -data rankings.txt -theta 0.2 -queries queries.txt
+//	ranksearch -data rankings.txt -theta 0.2 -id 42   # dataset ranking as query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rankjoin"
+	"rankjoin/internal/rankings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ranksearch: ")
+
+	var (
+		data    = flag.String("data", "", "dataset file (required)")
+		theta   = flag.Float64("theta", 0.2, "normalized distance threshold")
+		query   = flag.String("query", "", "one query ranking, item ids best-first")
+		queries = flag.String("queries", "", "file of query rankings")
+		id      = flag.Int64("id", -1, "use the dataset ranking with this id as query")
+		pivots  = flag.Int("pivots", 12, "number of index pivots")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := rankjoin.ReadRankings(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := rankjoin.BuildIndex(rs, *pivots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("indexed %d rankings with %d pivots", len(rs), *pivots)
+
+	var qs []*rankjoin.Ranking
+	switch {
+	case *query != "":
+		q, err := rankings.ParseLine(*query, -1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qs = append(qs, q)
+	case *queries != "":
+		qf, err := os.Open(*queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qs, err = rankjoin.ReadRankings(qf)
+		qf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *id >= 0:
+		for _, r := range rs {
+			if r.ID == *id {
+				qs = append(qs, r)
+			}
+		}
+		if len(qs) == 0 {
+			log.Fatalf("no ranking with id %d in dataset", *id)
+		}
+	default:
+		log.Fatal("provide -query, -queries or -id")
+	}
+
+	for _, q := range qs {
+		hits := idx.Search(q, *theta)
+		fmt.Printf("query %v: %d hits\n", q, len(hits))
+		for _, h := range hits {
+			other := h.A
+			if other == q.ID {
+				other = h.B
+			}
+			fmt.Printf("  ranking %d at distance %d\n", other, h.Dist)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package rankjoin
+
+import (
+	"rankjoin/internal/filters"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/stats"
+)
+
+// suggestDelta derives a repartitioning threshold δ for CL-P from the
+// dataset statistics via the paper's Equation 4: the expected
+// posting-list length under the fitted Zipf skew of the prefix
+// vocabulary, scaled up so only genuinely skew-inflated lists split.
+func suggestDelta(rs []*Ranking, theta float64) int {
+	if len(rs) == 0 {
+		return 16
+	}
+	k := rs[0].K()
+	maxDist := rankings.Threshold(theta, k)
+	prefix := filters.PrefixOverlap(maxDist, k)
+	counts := rankings.ItemCounts(rs)
+	ord := rankings.NewOrder(counts)
+	vPrime := stats.PrefixVocabulary(rs, ord, prefix)
+	skew := stats.EstimateSkew(counts)
+	return stats.SuggestDelta(len(rs)*prefix, skew, vPrime)
+}
+
+// SuggestDelta exposes the Equation 4 guidance for choosing the CL-P
+// partitioning threshold δ for a dataset and join threshold.
+func SuggestDelta(rs []*Ranking, theta float64) int { return suggestDelta(rs, theta) }

@@ -1,0 +1,65 @@
+package rankjoin_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankjoin"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/testutil"
+)
+
+// TestExtremeParameters drives every algorithm through the parameter
+// corners: k=1 and k=2 rankings, θ=0 (exact duplicates only) and θ=1
+// (every pair), tiny and colliding domains.
+func TestExtremeParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	algos := []rankjoin.Algorithm{
+		rankjoin.AlgVJ, rankjoin.AlgVJNL, rankjoin.AlgCL, rankjoin.AlgCLP,
+	}
+	for _, k := range []int{1, 2, 3} {
+		for _, theta := range []float64{0, 0.5, 1} {
+			rs := testutil.RandDataset(rng, 30, k, k+2)
+			ref, err := rankjoin.Join(rs, rankjoin.Options{Algorithm: rankjoin.AlgBruteForce, Theta: theta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if theta == 1 && len(ref.Pairs) != 30*29/2 {
+				t.Fatalf("k=%d θ=1: oracle %d pairs, want all %d", k, len(ref.Pairs), 30*29/2)
+			}
+			for _, alg := range algos {
+				res, err := rankjoin.Join(rs, rankjoin.Options{Algorithm: alg, Theta: theta})
+				if err != nil {
+					t.Fatalf("k=%d θ=%v %v: %v", k, theta, alg, err)
+				}
+				if !rankings.SamePairs(res.Pairs, ref.Pairs) {
+					extra, missing := rankings.DiffPairs(res.Pairs, ref.Pairs)
+					t.Fatalf("k=%d θ=%v %v: extra=%v missing=%v", k, theta, alg, extra, missing)
+				}
+			}
+		}
+	}
+}
+
+// TestPublicOracleProperty is the library-level completeness/soundness
+// property: on random clustered data with random parameters, the
+// default algorithm matches brute force exactly.
+func TestPublicOracleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		k := 3 + rng.Intn(10)
+		rs := testutil.ClusteredDataset(rng, 5+rng.Intn(15), 1+rng.Intn(5), k, 3*k+rng.Intn(5*k))
+		theta := rng.Float64()
+		ref, err := rankjoin.Join(rs, rankjoin.Options{Algorithm: rankjoin.AlgBruteForce, Theta: theta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rankjoin.Join(rs, rankjoin.Options{Theta: theta, ThetaC: 0.01 + 0.1*rng.Float64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rankings.SamePairs(res.Pairs, ref.Pairs) {
+			t.Fatalf("trial %d (k=%d θ=%.3f) diverged from oracle", trial, k, theta)
+		}
+	}
+}

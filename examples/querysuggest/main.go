@@ -1,0 +1,131 @@
+// Search-engine query grouping — the paper's second motivating use
+// case: related queries are detected by comparing their top-10 result
+// lists. Queries whose result rankings are close under the Footrule
+// distance are suggestion candidates for each other.
+//
+// The example simulates a query log: a handful of "intents", each with
+// a canonical result ranking over a shared document corpus; queries of
+// the same intent retrieve gently perturbed versions of that ranking
+// (ranking jitter between crawls), while unrelated intents retrieve
+// disjoint documents.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rankjoin"
+)
+
+const (
+	k         = 10   // result-list length
+	corpus    = 5000 // document id space
+	intents   = 40   // distinct information needs
+	perIntent = 6    // query variants per intent
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2020))
+
+	queryText := make(map[int64]string)
+	var rs []*rankjoin.Ranking
+	var id int64
+	for intent := 0; intent < intents; intent++ {
+		// Canonical result list of this intent.
+		base := make([]rankjoin.Item, 0, k)
+		seen := map[rankjoin.Item]bool{}
+		for len(base) < k {
+			d := rankjoin.Item(rng.Intn(corpus))
+			if !seen[d] {
+				seen[d] = true
+				base = append(base, d)
+			}
+		}
+		for v := 0; v < perIntent; v++ {
+			items := append([]rankjoin.Item(nil), base...)
+			// Ranking jitter: a few adjacent swaps, occasionally a
+			// fresh document enters the bottom of the list.
+			for s := 0; s < rng.Intn(3); s++ {
+				i := rng.Intn(k - 1)
+				items[i], items[i+1] = items[i+1], items[i]
+			}
+			if rng.Float64() < 0.3 {
+				items[k-1] = rankjoin.Item(rng.Intn(corpus))
+				for dup := true; dup; {
+					dup = false
+					for _, d := range items[:k-1] {
+						if d == items[k-1] {
+							items[k-1] = rankjoin.Item(rng.Intn(corpus))
+							dup = true
+							break
+						}
+					}
+				}
+			}
+			r, err := rankjoin.NewRanking(id, items)
+			if err != nil {
+				log.Fatal(err)
+			}
+			queryText[id] = fmt.Sprintf("intent%02d/q%d", intent, v)
+			rs = append(rs, r)
+			id++
+		}
+	}
+
+	// CL with a small θ: result lists must agree closely before two
+	// queries suggest each other.
+	res, err := rankjoin.Join(rs, rankjoin.Options{
+		Algorithm: rankjoin.AlgCL,
+		Theta:     0.2,
+		ThetaC:    0.03,
+		Stats:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Union-find over similar pairs -> suggestion groups.
+	parent := make(map[int64]int64)
+	var find func(int64) int64
+	find = func(x int64) int64 {
+		if p, ok := parent[x]; ok && p != x {
+			root := find(p)
+			parent[x] = root
+			return root
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	for _, p := range res.Pairs {
+		ra, rb := find(p.A), find(p.B)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	groups := map[int64][]string{}
+	for _, r := range rs {
+		groups[find(r.ID)] = append(groups[find(r.ID)], queryText[r.ID])
+	}
+
+	multi := 0
+	for _, g := range groups {
+		if len(g) > 1 {
+			multi++
+		}
+	}
+	fmt.Printf("%d queries -> %d similar pairs -> %d suggestion groups (showing 5):\n",
+		len(rs), len(res.Pairs), multi)
+	shown := 0
+	for _, g := range groups {
+		if len(g) < 2 || shown == 5 {
+			continue
+		}
+		fmt.Printf("  group: %v\n", g)
+		shown++
+	}
+	fmt.Printf("\nCL pipeline: %d clusters, %d singletons, joining reduced to %d centroid pairs\n",
+		res.CL.Clusters, res.CL.Singletons, res.CL.CentroidPairs)
+}

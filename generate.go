@@ -1,0 +1,35 @@
+package rankjoin
+
+import "rankjoin/internal/dataset"
+
+// GenOptions parameterizes the synthetic top-k ranking generator used
+// throughout the paper-reproduction experiments: Zipf-skewed item
+// popularity plus a controlled density of near-duplicate rankings.
+type GenOptions = dataset.GenConfig
+
+// Profile is a named dataset family (skew, vocabulary growth,
+// near-duplicate density).
+type Profile = dataset.Profile
+
+// DBLPLike approximates the paper's preprocessed DBLP benchmark
+// (moderate skew, fewer near-duplicates).
+var DBLPLike = dataset.DBLPLike
+
+// ORKULike approximates the paper's preprocessed ORKU benchmark
+// (heavier skew, more near-duplicates).
+var ORKULike = dataset.ORKULike
+
+// Generate draws a synthetic dataset; see GenOptions.
+func Generate(opts GenOptions) ([]*Ranking, error) { return dataset.Generate(opts) }
+
+// ScaleDataset grows a dataset ×times with the paper's §7 method: the
+// item domain stays fixed and the join result grows approximately
+// linearly with the dataset.
+func ScaleDataset(rs []*Ranking, times, domain int) []*Ranking {
+	return dataset.Scale(rs, times, domain)
+}
+
+// TopKFromRecords applies the paper's preprocessing to raw token
+// records: duplicate records removed, records shorter than k dropped,
+// the first k distinct tokens becoming the ranking.
+func TopKFromRecords(records [][]Item, k int) []*Ranking { return dataset.TopK(records, k) }

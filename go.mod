@@ -1,0 +1,3 @@
+module rankjoin
+
+go 1.24

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"rankjoin/internal/filters"
+	"time"
+
+	"rankjoin/internal/flow"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/vj"
+)
+
+// Options configures a CL / CL-P join.
+type Options struct {
+	// Theta is the normalized join threshold θ ∈ [0, 1].
+	Theta float64
+	// ThetaC is the normalized clustering threshold θc. The paper's
+	// recommendation (and our default when zero) is 0.03; values below
+	// 0.05 are advised.
+	ThetaC float64
+	// Partitions is the shuffle partition count (0 = context default).
+	Partitions int
+	// Variant selects the per-partition kernel of the clustering-phase
+	// VJ run. The paper's CL uses iterators, i.e. NestedLoop, which is
+	// the default.
+	Variant vj.Variant
+	// Delta is the §6 repartitioning threshold δ applied to the
+	// centroid-joining phase. Zero disables repartitioning: the
+	// algorithm is then plain CL; a positive value makes it CL-P.
+	Delta int
+	// ClusterDelta optionally applies repartitioning to the
+	// clustering-phase posting lists as well (rarely needed: θc is
+	// small, so clustering prefixes and posting lists stay short).
+	ClusterDelta int
+	// RepartitionFactor scales partition counts after a split (0 = 2).
+	RepartitionFactor int
+	// UniformJoinThreshold disables the Lemma 5.3 refinement and holds
+	// every centroid pair to θ+2θc — the ablation for Algorithm 1.
+	UniformJoinThreshold bool
+	// NoTriangleFilter disables the expansion phase's
+	// triangle-inequality pruning — every candidate is verified. Kept
+	// as an ablation of §5.3.
+	NoTriangleFilter bool
+	// UnverifiedPartials emits pairs whose distance is certified ≤ θ
+	// by the triangle inequality without computing it, exactly as the
+	// paper writes same-cluster members to disk unverified when
+	// 2θc ≤ θ. Such pairs carry Dist == -1. Off by default so that the
+	// output always contains exact distances.
+	UnverifiedPartials bool
+	// Stats, when non-nil, receives per-phase accounting.
+	Stats *Stats
+}
+
+func (o Options) withDefaults() Options {
+	if o.ThetaC == 0 {
+		o.ThetaC = 0.03
+	}
+	return o
+}
+
+func (o Options) validate(rs []*rankings.Ranking) (k int, err error) {
+	if o.Theta < 0 || o.Theta > 1 {
+		return 0, fmt.Errorf("core: theta %v out of [0,1]", o.Theta)
+	}
+	if o.ThetaC < 0 || o.ThetaC > 1 {
+		return 0, fmt.Errorf("core: thetaC %v out of [0,1]", o.ThetaC)
+	}
+	if len(rs) == 0 {
+		return 0, nil
+	}
+	k = rs[0].K()
+	for _, r := range rs {
+		if r.K() != k {
+			return 0, fmt.Errorf("core: mixed ranking lengths %d and %d (fixed-length rankings required)", k, r.K())
+		}
+	}
+	return k, nil
+}
+
+// Member records one cluster member: its ranking id and its exact
+// distance to the cluster centroid (known from the clustering phase and
+// exploited by the expansion phase's triangle filters).
+type Member struct {
+	ID   int64
+	Dist int
+}
+
+// Join runs the full CL (or CL-P when Delta > 0) pipeline of Figure 2:
+//
+//	Ordering   — one global frequency ordering, computed once;
+//	Clustering — a VJ run at θc; pairs grouped by their smaller id form
+//	             equal-radius clusters (centroid = smaller id);
+//	Joining    — a VJ-style run over C = Cm ∪ Cs at θ+2θc, tightened
+//	             per pair type by Lemma 5.3 (Algorithm 1);
+//	Expansion  — joining-phase results are joined back with the
+//	             clusters and candidates are pruned with the triangle
+//	             inequality before verification (Algorithm 2).
+//
+// The result is the exact set of pairs within θ (deduplicated); with
+// UnverifiedPartials some pairs carry Dist == -1 (within θ by triangle
+// certificate, distance not computed).
+func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.Pair, error) {
+	opts = opts.withDefaults()
+	k, err := opts.validate(rs)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) == 0 {
+		return nil, nil
+	}
+	t := newThresholds(opts.Theta, opts.ThetaC, k)
+
+	rankings.IndexAll(rs)
+	byID := make(map[int64]*rankings.Ranking, len(rs))
+	for _, r := range rs {
+		if dup, exists := byID[r.ID]; exists {
+			return nil, fmt.Errorf("core: duplicate ranking id %d (%v vs %v)", r.ID, dup, r)
+		}
+		byID[r.ID] = r
+	}
+	dict := flow.NewBroadcast(ctx, byID)
+
+	ds := flow.Parallelize(ctx, rs, opts.Partitions).Cache()
+
+	// Phase 1: Ordering — one canonical frequency order for both VJ
+	// runs (§5 "Ordering").
+	phaseStart := time.Now()
+	ord, err := vj.ComputeOrder(ds, opts.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Stats != nil {
+		opts.Stats.OrderingTime = time.Since(phaseStart)
+	}
+
+	// Phase 2: Clustering — VJ at θc over the pre-ordered dataset.
+	phaseStart = time.Now()
+	clusterPairsDS, err := vj.JoinDataset(ds, rs, vj.Options{
+		Theta:             opts.ThetaC,
+		Variant:           opts.Variant,
+		Partitions:        opts.Partitions,
+		Order:             ord,
+		Delta:             opts.ClusterDelta,
+		RepartitionFactor: opts.RepartitionFactor,
+		Stats:             statsClustering(opts.Stats),
+	})
+	if err != nil {
+		return nil, err
+	}
+	clusterPairsDS = clusterPairsDS.Cache()
+	nClusterPairs, err := clusterPairsDS.Count()
+	if err != nil {
+		return nil, err
+	}
+
+	// Clusters: group the θc-pairs by their smaller id — the centroid
+	// (Figure 3). The member keeps its exact centroid distance.
+	clusters := flow.GroupByKey(
+		flow.Map(clusterPairsDS, func(p rankings.Pair) flow.KV[int64, Member] {
+			return flow.KV[int64, Member]{K: p.A, V: Member{ID: p.B, Dist: p.Dist}}
+		}),
+		opts.Partitions,
+	).Cache()
+
+	// Singletons: rankings that appear in no θc-pair, found with a
+	// distributed anti-join (cogroup with empty right side).
+	allIDs := flow.Map(ds, func(r *rankings.Ranking) flow.KV[int64, struct{}] {
+		return flow.KV[int64, struct{}]{K: r.ID}
+	})
+	touched := flow.FlatMap(clusterPairsDS, func(p rankings.Pair) []flow.KV[int64, struct{}] {
+		return []flow.KV[int64, struct{}]{{K: p.A}, {K: p.B}}
+	})
+	singletonIDs := flow.FlatMap(
+		flow.CoGroup(allIDs, touched, opts.Partitions),
+		func(kv flow.KV[int64, flow.CoGrouped[struct{}, struct{}]]) []int64 {
+			if len(kv.V.Right) == 0 {
+				return []int64{kv.K}
+			}
+			return nil
+		})
+
+	// C = Cm ∪ Cs.
+	centroidRecords := flow.Union(
+		flow.Map(flow.Keys(clusters), func(id int64) *Centroid {
+			return &Centroid{R: dict.Value()[id], Singleton: false}
+		}),
+		flow.Map(singletonIDs, func(id int64) *Centroid {
+			return &Centroid{R: dict.Value()[id], Singleton: true}
+		}),
+	)
+	if opts.Stats != nil {
+		opts.Stats.ClusterPairs = nClusterPairs
+		if opts.Stats.Clusters, err = clusters.Count(); err != nil {
+			return nil, err
+		}
+		if opts.Stats.Singletons, err = singletonIDs.Count(); err != nil {
+			return nil, err
+		}
+		opts.Stats.ClusteringTime = time.Since(phaseStart)
+	}
+
+	// Phase 3: Joining — Algorithm 1 over the centroids, with
+	// type-dependent prefixes and Lemma 5.3 thresholds, repartitioned
+	// per §6 when Delta > 0.
+	phaseStart = time.Now()
+	ordB := flow.NewBroadcast(ctx, ord)
+	// Degenerate regime: when θ+2θc admits zero-overlap centroid
+	// pairs, prefix posting lists cannot deliver them — route every
+	// centroid through the catch-all group as well (see
+	// rankings.CatchAllItem). The centroid kernels are nested loops,
+	// so the catch-all group is handled completely.
+	needAll := filters.MinOverlap(t.fo, k) == 0
+	groups := vj.PrefixGroups(centroidRecords, func(c *Centroid) []rankings.Item {
+		p := t.prefixFor(c.Singleton)
+		if opts.UniformJoinThreshold {
+			p = t.prefixM
+		}
+		items := ordB.Value().Prefix(c.R, p)
+		if needAll {
+			items = append(append([]rankings.Item(nil), items...), rankings.CatchAllItem)
+		}
+		return items
+	}, opts.Partitions)
+	cpairsRaw := vj.JoinTokenGroups(groups, vj.GroupJoinOptions[*Centroid, CPair]{
+		Partitions:        opts.Partitions,
+		Delta:             opts.Delta,
+		RepartitionFactor: opts.RepartitionFactor,
+		SubKey:            func(c *Centroid) int64 { return c.R.ID },
+		Self: func(_ rankings.Item, members []*Centroid) []CPair {
+			var ks kernelStats
+			out := centroidSelfJoin(members, t, opts.UniformJoinThreshold, &ks)
+			opts.Stats.addJoinKernel(ks)
+			return out
+		},
+		Cross: func(_ rankings.Item, a, b []*Centroid) []CPair {
+			var ks kernelStats
+			out := centroidCrossJoin(a, b, t, opts.UniformJoinThreshold, &ks)
+			opts.Stats.addJoinKernel(ks)
+			return out
+		},
+		Stats: statsJoining(opts.Stats),
+	})
+	cpairs := flow.Distinct(cpairsRaw, opts.Partitions).Cache()
+	nCPairs, err := cpairs.Count()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Stats != nil {
+		opts.Stats.CentroidPairs = nCPairs
+		opts.Stats.JoiningTime = time.Since(phaseStart)
+	}
+
+	// Phase 4: Expansion — Algorithm 2.
+	phaseStart = time.Now()
+	results := expand(expandInputs{
+		thresholds:   t,
+		opts:         opts,
+		dict:         dict,
+		clusterPairs: clusterPairsDS,
+		clusters:     clusters,
+		cpairs:       cpairs,
+	})
+	final := flow.DistinctBy(results, opts.Partitions, func(p rankings.Pair) rankings.PairKey {
+		return p.Key()
+	})
+	out, err := final.Collect()
+	if err != nil {
+		return nil, err
+	}
+	rankings.SortPairs(out)
+	if opts.Stats != nil {
+		opts.Stats.ExpansionTime = time.Since(phaseStart)
+		opts.Stats.Results = int64(len(out))
+	}
+	return out, nil
+}
+
+func statsClustering(s *Stats) *vj.Stats {
+	if s == nil {
+		return nil
+	}
+	return &s.Clustering
+}
+
+func statsJoining(s *Stats) *vj.Stats {
+	if s == nil {
+		return nil
+	}
+	return &s.Joining
+}

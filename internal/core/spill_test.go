@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankjoin/internal/core"
+	"rankjoin/internal/flow"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/testutil"
+)
+
+// TestCLWithSpilling forces every shuffle bucket through the gob
+// spill path (threshold 1), exercising disk round-trips of all the
+// pipeline's record types — rankings, centroids, members, centroid
+// pairs — and must still match the oracle exactly.
+func TestCLWithSpilling(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	rs := testutil.ClusteredDataset(rng, 12, 4, 8, 40)
+	want := oracle(rs, 0.3)
+
+	ctx := flow.NewContext(flow.Config{
+		Workers:           4,
+		DefaultPartitions: 4,
+		SpillDir:          t.TempDir(),
+		SpillThreshold:    1,
+	})
+	defer func() {
+		if err := ctx.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	got, err := core.Join(ctx, rs, core.Options{Theta: 0.3, ThetaC: 0.04, Delta: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rankings.SamePairs(got, want) {
+		extra, missing := rankings.DiffPairs(got, want)
+		t.Fatalf("spilled CL diverged: extra=%v missing=%v", extra, missing)
+	}
+	if ctx.Snapshot().SpilledRecords == 0 {
+		t.Fatal("spill threshold 1 spilled nothing")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"rankjoin/internal/vj"
+)
+
+// Stats aggregates accounting across the four CL phases. The atomic
+// counters are safe for concurrent kernel updates; the phase durations
+// and cardinalities are written sequentially by the driver between
+// phases. A nil *Stats is a valid no-op sink.
+type Stats struct {
+	// Clustering receives the kernel/group accounting of the
+	// clustering-phase VJ run.
+	Clustering vj.Stats
+	// Joining receives the group accounting (posting lists, splits) of
+	// the centroid join.
+	Joining vj.Stats
+
+	// Centroid-join kernel counters.
+	JoinCandidates atomic.Int64
+	JoinVerified   atomic.Int64
+	JoinResults    atomic.Int64
+
+	// Expansion counters.
+	ExpandCandidates atomic.Int64
+	ExpandPruned     atomic.Int64 // dropped by triangle filtering
+	ExpandAccepted   atomic.Int64 // admitted without verification
+	ExpandVerified   atomic.Int64
+
+	// Cardinalities observed between phases (driver-written).
+	ClusterPairs  int64 // near-duplicate pairs found at θc
+	Clusters      int64 // non-singleton clusters |Cm|
+	Singletons    int64 // |Cs|
+	CentroidPairs int64 // |Rj|
+	Results       int64
+
+	// Phase wall-clock durations (driver-written).
+	OrderingTime   time.Duration
+	ClusteringTime time.Duration
+	JoiningTime    time.Duration
+	ExpansionTime  time.Duration
+}
+
+func (s *Stats) addJoinKernel(k kernelStats) {
+	if s == nil {
+		return
+	}
+	s.JoinCandidates.Add(k.candidates)
+	s.JoinVerified.Add(k.verified)
+	s.JoinResults.Add(k.results)
+}
+
+// TotalTime sums the phase durations.
+func (s *Stats) TotalTime() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.OrderingTime + s.ClusteringTime + s.JoiningTime + s.ExpansionTime
+}
+
+func (s *Stats) String() string {
+	if s == nil {
+		return "<nil stats>"
+	}
+	return fmt.Sprintf(
+		"clusterPairs=%d clusters=%d singletons=%d centroidPairs=%d results=%d "+
+			"joinCand=%d joinVer=%d expCand=%d expPruned=%d expAccepted=%d expVer=%d "+
+			"times[order=%v cluster=%v join=%v expand=%v]",
+		s.ClusterPairs, s.Clusters, s.Singletons, s.CentroidPairs, s.Results,
+		s.JoinCandidates.Load(), s.JoinVerified.Load(),
+		s.ExpandCandidates.Load(), s.ExpandPruned.Load(), s.ExpandAccepted.Load(), s.ExpandVerified.Load(),
+		s.OrderingTime, s.ClusteringTime, s.JoiningTime, s.ExpansionTime)
+}

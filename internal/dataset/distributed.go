@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"fmt"
+
+	"rankjoin/internal/flow"
+	"rankjoin/internal/rankings"
+)
+
+// LoadDistributed reads a ranking file as a flow dataset using
+// byte-range input splits: each engine task parses only its split, the
+// way the paper's Spark jobs read partitioned text off HDFS. Lines
+// without an explicit "id:" prefix are assigned ids by their global
+// line number — computed with a first metadata-only pass so ids are
+// stable regardless of the partition count.
+func LoadDistributed(ctx *flow.Context, path string, parts int) (*flow.Dataset[*rankings.Ranking], error) {
+	lines := flow.TextFile(ctx, path, parts)
+	// First pass: per-split line counts, to derive each split's global
+	// line offset.
+	counts := make([]int64, lines.NumPartitions())
+	err := lines.ForEachPartition(func(p int, in []string) error {
+		counts[p] = int64(len(in))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	offsets := make([]int64, len(counts)+1)
+	for i, c := range counts {
+		offsets[i+1] = offsets[i] + c
+	}
+	parsed := flow.MapPartitions(lines, func(p int, in []string) ([]*rankings.Ranking, error) {
+		out := make([]*rankings.Ranking, 0, len(in))
+		id := offsets[p]
+		for _, line := range in {
+			if line == "" || line[0] == '#' {
+				id++ // keep ids aligned with raw line numbers
+				continue
+			}
+			r, err := rankings.ParseLine(line, id)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: %s: %w", path, err)
+			}
+			r.Index()
+			out = append(out, r)
+			id++
+		}
+		return out, nil
+	})
+	return parsed, nil
+}

@@ -1,0 +1,80 @@
+// Package experiments reproduces the paper's experimental study (§7):
+// one experiment per table/figure, each producing the same rows/series
+// the paper reports, at laptop scale. The absolute numbers differ from
+// the paper's 8-node Spark cluster; the shapes — who wins, by what
+// factor, where the crossovers fall — are what the experiments assert.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output: a header row plus one row per
+// parameter setting, rendered as aligned text.
+type Table struct {
+	// Name identifies the experiment ("fig6a", "fig9", ...).
+	Name string
+	// Title is the paper's caption, paraphrased.
+	Title string
+	// Columns are the header cells; Rows the data cells.
+	Columns []string
+	Rows    [][]string
+	// Notes carries free-form observations (DNF cells, chosen
+	// parameters).
+	Notes []string
+}
+
+// AddRow appends a data row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.Name, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// fmtDur renders a duration as fractional milliseconds, or "DNF" for
+// cells that exceeded the budget (negative duration).
+func fmtDur(d time.Duration) string {
+	if d < 0 {
+		return "DNF"
+	}
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,21 @@
+package flow
+
+// Broadcast is a read-only value shared with every task — Spark's
+// broadcast variable. The VJ adaptation broadcasts the global item
+// frequency ordering to all executors (§4); in-process this is a shared
+// pointer, but routing it through Broadcast keeps the dataflow programs
+// structurally identical to their Spark counterparts and lets metrics
+// count broadcast usage.
+type Broadcast[T any] struct {
+	value T
+}
+
+// NewBroadcast registers v as a broadcast value on the context.
+func NewBroadcast[T any](ctx *Context, v T) Broadcast[T] {
+	ctx.metrics.BroadcastValues.Add(1)
+	return Broadcast[T]{value: v}
+}
+
+// Value returns the broadcast value. The caller must treat it as
+// read-only; it is shared across all tasks.
+func (b Broadcast[T]) Value() T { return b.value }

@@ -1,0 +1,277 @@
+package flow
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dataset is a lazily evaluated, partitioned, immutable collection — the
+// engine's RDD. Transformations build new Datasets; nothing executes
+// until an action (Collect, Count, Reduce) or a downstream shuffle
+// forces materialization. Narrow transformations are pipelined: a chain
+// of Map/Filter/FlatMap over one partition runs as a single task
+// without intermediate materialization of the whole dataset.
+type Dataset[T any] struct {
+	ctx     *Context
+	parts   int
+	compute func(p int) ([]T, error)
+
+	// cache, when non-nil, memoizes computed partitions (RDD.cache()).
+	cache *cacheState[T]
+}
+
+type cacheState[T any] struct {
+	once  []sync.Once
+	parts [][]T
+	errs  []error
+}
+
+// Context returns the engine context the dataset is bound to.
+func (d *Dataset[T]) Context() *Context { return d.ctx }
+
+// NumPartitions returns the dataset's partition count.
+func (d *Dataset[T]) NumPartitions() int { return d.parts }
+
+// Parallelize distributes data over parts partitions (round-robin by
+// block) — the engine's entry point for driver-side collections. A
+// non-positive parts uses the context default.
+func Parallelize[T any](ctx *Context, data []T, parts int) *Dataset[T] {
+	if parts <= 0 {
+		parts = ctx.cfg.DefaultPartitions
+	}
+	n := len(data)
+	return &Dataset[T]{
+		ctx:   ctx,
+		parts: parts,
+		compute: func(p int) ([]T, error) {
+			lo := n * p / parts
+			hi := n * (p + 1) / parts
+			return data[lo:hi], nil
+		},
+	}
+}
+
+// FromPartitions wraps pre-partitioned data as a dataset.
+func FromPartitions[T any](ctx *Context, partitions [][]T) *Dataset[T] {
+	return &Dataset[T]{
+		ctx:     ctx,
+		parts:   len(partitions),
+		compute: func(p int) ([]T, error) { return partitions[p], nil },
+	}
+}
+
+// partition evaluates one partition, consulting the cache if enabled.
+func (d *Dataset[T]) partition(p int) ([]T, error) {
+	if p < 0 || p >= d.parts {
+		return nil, fmt.Errorf("flow: partition %d out of range [0,%d)", p, d.parts)
+	}
+	if c := d.cache; c != nil {
+		c.once[p].Do(func() {
+			c.parts[p], c.errs[p] = d.compute(p)
+		})
+		return c.parts[p], c.errs[p]
+	}
+	return d.compute(p)
+}
+
+// Cache returns a dataset whose partitions are computed at most once
+// and then served from memory — Spark's rdd.cache(), the mechanism the
+// paper's iterative pipeline leans on for intermediate results.
+func (d *Dataset[T]) Cache() *Dataset[T] {
+	c := &cacheState[T]{
+		once:  make([]sync.Once, d.parts),
+		parts: make([][]T, d.parts),
+		errs:  make([]error, d.parts),
+	}
+	return &Dataset[T]{
+		ctx:     d.ctx,
+		parts:   d.parts,
+		compute: d.partition,
+		cache:   c,
+	}
+}
+
+// Map applies f to every element.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return &Dataset[U]{
+		ctx:   d.ctx,
+		parts: d.parts,
+		compute: func(p int) ([]U, error) {
+			in, err := d.partition(p)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]U, len(in))
+			for i, v := range in {
+				out[i] = f(v)
+			}
+			return out, nil
+		},
+	}
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	return &Dataset[U]{
+		ctx:   d.ctx,
+		parts: d.parts,
+		compute: func(p int) ([]U, error) {
+			in, err := d.partition(p)
+			if err != nil {
+				return nil, err
+			}
+			var out []U
+			for _, v := range in {
+				out = append(out, f(v)...)
+			}
+			return out, nil
+		},
+	}
+}
+
+// Filter keeps the elements for which keep returns true.
+func Filter[T any](d *Dataset[T], keep func(T) bool) *Dataset[T] {
+	return &Dataset[T]{
+		ctx:   d.ctx,
+		parts: d.parts,
+		compute: func(p int) ([]T, error) {
+			in, err := d.partition(p)
+			if err != nil {
+				return nil, err
+			}
+			var out []T
+			for _, v := range in {
+				if keep(v) {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// MapPartitions transforms a whole partition at once — the hook the
+// similarity-join algorithms use to run their per-partition joins. f
+// receives the partition index and its records.
+func MapPartitions[T, U any](d *Dataset[T], f func(p int, in []T) ([]U, error)) *Dataset[U] {
+	return &Dataset[U]{
+		ctx:   d.ctx,
+		parts: d.parts,
+		compute: func(p int) ([]U, error) {
+			in, err := d.partition(p)
+			if err != nil {
+				return nil, err
+			}
+			return f(p, in)
+		},
+	}
+}
+
+// Union concatenates two datasets (partitions of a followed by
+// partitions of b), without a shuffle — Spark's rdd.union.
+func Union[T any](a, b *Dataset[T]) *Dataset[T] {
+	if a.ctx != b.ctx {
+		panic("flow: union across contexts")
+	}
+	return &Dataset[T]{
+		ctx:   a.ctx,
+		parts: a.parts + b.parts,
+		compute: func(p int) ([]T, error) {
+			if p < a.parts {
+				return a.partition(p)
+			}
+			return b.partition(p - a.parts)
+		},
+	}
+}
+
+// Collect materializes the whole dataset on the driver, preserving
+// partition order.
+func (d *Dataset[T]) Collect() ([]T, error) {
+	outs := make([][]T, d.parts)
+	err := d.ctx.parallelDo(d.parts, func(p int) error {
+		part, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		outs[p] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int
+	for _, o := range outs {
+		total += len(o)
+	}
+	all := make([]T, 0, total)
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return all, nil
+}
+
+// Count returns the number of elements.
+func (d *Dataset[T]) Count() (int64, error) {
+	var n int64
+	var mu sync.Mutex
+	err := d.ctx.parallelDo(d.parts, func(p int) error {
+		part, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		n += int64(len(part))
+		mu.Unlock()
+		return nil
+	})
+	return n, err
+}
+
+// Reduce folds the dataset with an associative, commutative merge.
+// It returns ok=false on an empty dataset.
+func Reduce[T any](d *Dataset[T], merge func(T, T) T) (T, bool, error) {
+	var (
+		mu    sync.Mutex
+		acc   T
+		have  bool
+		zeroT T
+	)
+	err := d.ctx.parallelDo(d.parts, func(p int) error {
+		part, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		if len(part) == 0 {
+			return nil
+		}
+		local := part[0]
+		for _, v := range part[1:] {
+			local = merge(local, v)
+		}
+		mu.Lock()
+		if have {
+			acc = merge(acc, local)
+		} else {
+			acc, have = local, true
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return zeroT, false, err
+	}
+	return acc, have, nil
+}
+
+// ForEachPartition runs fn over every partition for its side effects
+// (writing results to disk, collecting statistics, ...).
+func (d *Dataset[T]) ForEachPartition(fn func(p int, in []T) error) error {
+	return d.ctx.parallelDo(d.parts, func(p int) error {
+		in, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		return fn(p, in)
+	})
+}

@@ -1,0 +1,205 @@
+// Package flow is an in-process, Spark-like dataflow engine: the
+// substrate that stands in for Apache Spark in this reproduction.
+//
+// It models the pieces of Spark the paper's algorithms actually depend
+// on:
+//
+//   - lazily evaluated, partitioned, immutable datasets (RDDs) with
+//     pipelined narrow transformations (Map, FlatMap, Filter,
+//     MapPartitions);
+//   - wide transformations that exchange data through a hash-partitioned
+//     shuffle (GroupByKey, ReduceByKey, Join, CoGroup, Distinct,
+//     Repartition), with map-side combining where applicable;
+//   - broadcast variables;
+//   - caching of intermediate datasets for iterative, multi-stage
+//     pipelines;
+//   - a bounded executor pool (Config.Workers plays the role of
+//     executors × cores, the knob behind the paper's Table 3 and the
+//     Figure 7 scalability sweep);
+//   - optional spill-to-disk of shuffle buckets, modelling Spark's
+//     ability to degrade gracefully instead of holding every partition
+//     in executor memory (§4.1);
+//   - engine metrics (records shuffled, spilled, largest partition,
+//     tasks run) so that experiments can observe skew and shuffle
+//     volume, not just wall-clock time.
+//
+// The engine is deliberately deterministic given a fixed dataset: hash
+// partitioning depends only on keys, so results are reproducible across
+// worker counts and partition counts (property-tested).
+package flow
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config sizes the engine. The zero value is usable: it runs with
+// GOMAXPROCS workers, 8 default partitions and no spilling.
+type Config struct {
+	// Workers bounds the number of concurrently executing tasks — the
+	// analogue of total executor cores in Table 3 of the paper.
+	Workers int
+	// DefaultPartitions is the partition count used when a
+	// transformation does not specify one — the analogue of
+	// spark.default.parallelism.
+	DefaultPartitions int
+	// SpillDir, when non-empty, enables spilling of oversized shuffle
+	// buckets to gob files under this directory.
+	SpillDir string
+	// SpillThreshold is the number of records a single shuffle bucket
+	// may hold in memory before being spilled. Zero means 1<<16.
+	SpillThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultPartitions <= 0 {
+		c.DefaultPartitions = 8
+	}
+	if c.SpillThreshold <= 0 {
+		c.SpillThreshold = 1 << 16
+	}
+	return c
+}
+
+// Context owns the executor pool, metrics and spill state for one
+// logical "cluster". Datasets are bound to the context that created
+// them.
+type Context struct {
+	cfg     Config
+	metrics Metrics
+	spill   *spillManager
+}
+
+// NewContext builds a Context from cfg (see Config for defaults).
+func NewContext(cfg Config) *Context {
+	cfg = cfg.withDefaults()
+	ctx := &Context{cfg: cfg}
+	if cfg.SpillDir != "" {
+		ctx.spill = newSpillManager(cfg.SpillDir, cfg.SpillThreshold, &ctx.metrics)
+	}
+	return ctx
+}
+
+// Config returns the (defaulted) configuration of the context.
+func (c *Context) Config() Config { return c.cfg }
+
+// Workers returns the executor budget of the context.
+func (c *Context) Workers() int { return c.cfg.Workers }
+
+// Close releases spill files, if any. Safe to call on contexts without
+// spilling.
+func (c *Context) Close() error {
+	if c.spill != nil {
+		return c.spill.close()
+	}
+	return nil
+}
+
+// parallelDo executes fn(0..n-1) on the executor pool and returns the
+// first error. Nested invocations (a shuffle materializing its parent
+// while the child stage is already running) each get their own bounded
+// goroutine set, so the engine never deadlocks on pool slots; only one
+// nesting level does real work at a time because sibling tasks block on
+// the shuffle's sync.Once.
+func (c *Context) parallelDo(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := c.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		err  atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				c.metrics.Tasks.Add(1)
+				if e := fn(i); e != nil {
+					err.CompareAndSwap(nil, e)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := err.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// Metrics aggregates engine-level counters across all stages executed
+// on a context. Counters are cumulative; use Snapshot to read them and
+// Reset to start a fresh measurement window.
+type Metrics struct {
+	// Tasks counts executed partition tasks.
+	Tasks atomic.Int64
+	// ShuffleRecords counts records moved across a shuffle boundary.
+	ShuffleRecords atomic.Int64
+	// SpilledRecords counts records written to spill files.
+	SpilledRecords atomic.Int64
+	// BroadcastValues counts broadcast variables created.
+	BroadcastValues atomic.Int64
+	// MaxPartitionRecords tracks the largest materialized shuffle
+	// partition seen — the skew signal the repartitioning technique of
+	// §6 reacts to.
+	MaxPartitionRecords atomic.Int64
+}
+
+func (m *Metrics) observePartitionSize(n int64) {
+	for {
+		cur := m.MaxPartitionRecords.Load()
+		if n <= cur || m.MaxPartitionRecords.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// MetricsSnapshot is a plain-value copy of Metrics.
+type MetricsSnapshot struct {
+	Tasks               int64
+	ShuffleRecords      int64
+	SpilledRecords      int64
+	BroadcastValues     int64
+	MaxPartitionRecords int64
+}
+
+// Snapshot returns the current counter values.
+func (c *Context) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Tasks:               c.metrics.Tasks.Load(),
+		ShuffleRecords:      c.metrics.ShuffleRecords.Load(),
+		SpilledRecords:      c.metrics.SpilledRecords.Load(),
+		BroadcastValues:     c.metrics.BroadcastValues.Load(),
+		MaxPartitionRecords: c.metrics.MaxPartitionRecords.Load(),
+	}
+}
+
+// ResetMetrics zeroes all counters.
+func (c *Context) ResetMetrics() {
+	c.metrics.Tasks.Store(0)
+	c.metrics.ShuffleRecords.Store(0)
+	c.metrics.SpilledRecords.Store(0)
+	c.metrics.BroadcastValues.Store(0)
+	c.metrics.MaxPartitionRecords.Store(0)
+}
+
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf("tasks=%d shuffled=%d spilled=%d broadcasts=%d maxPartition=%d",
+		s.Tasks, s.ShuffleRecords, s.SpilledRecords, s.BroadcastValues, s.MaxPartitionRecords)
+}

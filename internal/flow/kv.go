@@ -1,0 +1,290 @@
+package flow
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// KV is a key-value record, the unit of all wide (shuffling)
+// transformations.
+type KV[K comparable, V any] struct {
+	K K
+	V V
+}
+
+// hashSeed is shared by every shuffle in the process so that equal keys
+// always hash identically: two datasets shuffled to the same partition
+// count are automatically co-partitioned, which CoGroup and Join rely
+// on.
+var hashSeed = maphash.MakeSeed()
+
+func partitionOf[K comparable](key K, parts int) int {
+	return int(maphash.Comparable(hashSeed, key) % uint64(parts))
+}
+
+// shuffleState materializes a hash-partitioned exchange exactly once.
+type shuffleState[T any] struct {
+	once    sync.Once
+	err     error
+	buckets [][]T
+	spilled []string // spill file per partition, "" if in memory
+}
+
+// runShuffle evaluates all source partitions of d, routing each record
+// to its destination bucket by hash of the key. Oversized buckets are
+// spilled when the context has spilling enabled.
+func runShuffle[K comparable, V any](d *Dataset[KV[K, V]], parts int, st *shuffleState[KV[K, V]]) {
+	ctx := d.ctx
+	perSrc := make([][][]KV[K, V], d.parts)
+	st.err = ctx.parallelDo(d.parts, func(src int) error {
+		in, err := d.partition(src)
+		if err != nil {
+			return err
+		}
+		local := make([][]KV[K, V], parts)
+		for _, kv := range in {
+			dst := partitionOf(kv.K, parts)
+			local[dst] = append(local[dst], kv)
+		}
+		ctx.metrics.ShuffleRecords.Add(int64(len(in)))
+		perSrc[src] = local
+		return nil
+	})
+	if st.err != nil {
+		return
+	}
+	st.buckets = make([][]KV[K, V], parts)
+	st.spilled = make([]string, parts)
+	st.err = ctx.parallelDo(parts, func(dst int) error {
+		var n int
+		for _, local := range perSrc {
+			n += len(local[dst])
+		}
+		bucket := make([]KV[K, V], 0, n)
+		for _, local := range perSrc {
+			bucket = append(bucket, local[dst]...)
+		}
+		ctx.metrics.observePartitionSize(int64(n))
+		if ctx.spill != nil && n > ctx.spill.threshold {
+			path, err := spillWrite(ctx.spill, bucket)
+			if err != nil {
+				return err
+			}
+			st.spilled[dst] = path
+			return nil
+		}
+		st.buckets[dst] = bucket
+		return nil
+	})
+}
+
+// PartitionByKey redistributes records so that equal keys land in the
+// same partition — the raw shuffle every wide transformation builds on.
+// A non-positive parts uses the context default.
+func PartitionByKey[K comparable, V any](d *Dataset[KV[K, V]], parts int) *Dataset[KV[K, V]] {
+	if parts <= 0 {
+		parts = d.ctx.cfg.DefaultPartitions
+	}
+	st := &shuffleState[KV[K, V]]{}
+	return &Dataset[KV[K, V]]{
+		ctx:   d.ctx,
+		parts: parts,
+		compute: func(p int) ([]KV[K, V], error) {
+			st.once.Do(func() { runShuffle(d, parts, st) })
+			if st.err != nil {
+				return nil, st.err
+			}
+			if path := st.spilled[p]; path != "" {
+				return spillRead[KV[K, V]](d.ctx.spill, path)
+			}
+			return st.buckets[p], nil
+		},
+	}
+}
+
+// GroupByKey shuffles and gathers all values of a key into one record.
+// Like Spark's groupByKey it materializes each group; prefer
+// ReduceByKey when a combiner exists.
+func GroupByKey[K comparable, V any](d *Dataset[KV[K, V]], parts int) *Dataset[KV[K, []V]] {
+	sh := PartitionByKey(d, parts)
+	return MapPartitions(sh, func(_ int, in []KV[K, V]) ([]KV[K, []V], error) {
+		groups := make(map[K][]V)
+		var order []K
+		for _, kv := range in {
+			if _, seen := groups[kv.K]; !seen {
+				order = append(order, kv.K)
+			}
+			groups[kv.K] = append(groups[kv.K], kv.V)
+		}
+		out := make([]KV[K, []V], 0, len(order))
+		for _, k := range order {
+			out = append(out, KV[K, []V]{K: k, V: groups[k]})
+		}
+		return out, nil
+	})
+}
+
+// ReduceByKey merges all values of a key with an associative,
+// commutative function, combining map-side before the shuffle (Spark's
+// reduceByKey).
+func ReduceByKey[K comparable, V any](d *Dataset[KV[K, V]], parts int, merge func(V, V) V) *Dataset[KV[K, V]] {
+	combine := func(_ int, in []KV[K, V]) ([]KV[K, V], error) {
+		acc := make(map[K]V)
+		var order []K
+		for _, kv := range in {
+			if cur, ok := acc[kv.K]; ok {
+				acc[kv.K] = merge(cur, kv.V)
+			} else {
+				acc[kv.K] = kv.V
+				order = append(order, kv.K)
+			}
+		}
+		out := make([]KV[K, V], 0, len(order))
+		for _, k := range order {
+			out = append(out, KV[K, V]{K: k, V: acc[k]})
+		}
+		return out, nil
+	}
+	pre := MapPartitions(d, combine)  // map-side combine
+	sh := PartitionByKey(pre, parts)  // exchange
+	return MapPartitions(sh, combine) // final merge
+}
+
+// CoGrouped carries, for one key, the values from both sides of a
+// CoGroup.
+type CoGrouped[V, W any] struct {
+	Left  []V
+	Right []W
+}
+
+// CoGroup gathers, per key, all values from both datasets. The two
+// inputs are shuffled to the same partition count with the shared hash
+// seed, so partitions can be zipped pairwise.
+func CoGroup[K comparable, V, W any](a *Dataset[KV[K, V]], b *Dataset[KV[K, W]], parts int) *Dataset[KV[K, CoGrouped[V, W]]] {
+	if a.ctx != b.ctx {
+		panic("flow: cogroup across contexts")
+	}
+	if parts <= 0 {
+		parts = a.ctx.cfg.DefaultPartitions
+	}
+	sa := PartitionByKey(a, parts)
+	sb := PartitionByKey(b, parts)
+	return &Dataset[KV[K, CoGrouped[V, W]]]{
+		ctx:   a.ctx,
+		parts: parts,
+		compute: func(p int) ([]KV[K, CoGrouped[V, W]], error) {
+			la, err := sa.partition(p)
+			if err != nil {
+				return nil, err
+			}
+			lb, err := sb.partition(p)
+			if err != nil {
+				return nil, err
+			}
+			groups := make(map[K]*CoGrouped[V, W])
+			var order []K
+			get := func(k K) *CoGrouped[V, W] {
+				g, ok := groups[k]
+				if !ok {
+					g = &CoGrouped[V, W]{}
+					groups[k] = g
+					order = append(order, k)
+				}
+				return g
+			}
+			for _, kv := range la {
+				g := get(kv.K)
+				g.Left = append(g.Left, kv.V)
+			}
+			for _, kv := range lb {
+				g := get(kv.K)
+				g.Right = append(g.Right, kv.V)
+			}
+			out := make([]KV[K, CoGrouped[V, W]], 0, len(order))
+			for _, k := range order {
+				out = append(out, KV[K, CoGrouped[V, W]]{K: k, V: *groups[k]})
+			}
+			return out, nil
+		},
+	}
+}
+
+// Joined is one row of an inner join: a key's pair of values.
+type Joined[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// Join computes the inner equi-join of the two datasets on their keys
+// (Spark's rdd.join), emitting the cross product of matching values.
+func Join[K comparable, V, W any](a *Dataset[KV[K, V]], b *Dataset[KV[K, W]], parts int) *Dataset[KV[K, Joined[V, W]]] {
+	cg := CoGroup(a, b, parts)
+	return FlatMap(cg, func(kv KV[K, CoGrouped[V, W]]) []KV[K, Joined[V, W]] {
+		if len(kv.V.Left) == 0 || len(kv.V.Right) == 0 {
+			return nil
+		}
+		out := make([]KV[K, Joined[V, W]], 0, len(kv.V.Left)*len(kv.V.Right))
+		for _, v := range kv.V.Left {
+			for _, w := range kv.V.Right {
+				out = append(out, KV[K, Joined[V, W]]{K: kv.K, V: Joined[V, W]{Left: v, Right: w}})
+			}
+		}
+		return out
+	})
+}
+
+// Distinct removes duplicate elements via a shuffle — the final
+// deduplication stage of every algorithm in the paper.
+func Distinct[T comparable](d *Dataset[T], parts int) *Dataset[T] {
+	keyed := Map(d, func(v T) KV[T, struct{}] { return KV[T, struct{}]{K: v} })
+	sh := PartitionByKey(keyed, parts)
+	return MapPartitions(sh, func(_ int, in []KV[T, struct{}]) ([]T, error) {
+		seen := make(map[T]struct{}, len(in))
+		out := make([]T, 0, len(in))
+		for _, kv := range in {
+			if _, dup := seen[kv.K]; dup {
+				continue
+			}
+			seen[kv.K] = struct{}{}
+			out = append(out, kv.K)
+		}
+		return out, nil
+	})
+}
+
+// DistinctBy removes elements with duplicate keys, keeping the first
+// occurrence per partition after the shuffle.
+func DistinctBy[T any, K comparable](d *Dataset[T], parts int, key func(T) K) *Dataset[T] {
+	keyed := Map(d, func(v T) KV[K, T] { return KV[K, T]{K: key(v), V: v} })
+	sh := PartitionByKey(keyed, parts)
+	return MapPartitions(sh, func(_ int, in []KV[K, T]) ([]T, error) {
+		seen := make(map[K]struct{}, len(in))
+		out := make([]T, 0, len(in))
+		for _, kv := range in {
+			if _, dup := seen[kv.K]; dup {
+				continue
+			}
+			seen[kv.K] = struct{}{}
+			out = append(out, kv.V)
+		}
+		return out, nil
+	})
+}
+
+// MapValues transforms the value of each record, preserving keys and
+// partitioning.
+func MapValues[K comparable, V, W any](d *Dataset[KV[K, V]], f func(V) W) *Dataset[KV[K, W]] {
+	return Map(d, func(kv KV[K, V]) KV[K, W] {
+		return KV[K, W]{K: kv.K, V: f(kv.V)}
+	})
+}
+
+// Keys projects the keys of a keyed dataset.
+func Keys[K comparable, V any](d *Dataset[KV[K, V]]) *Dataset[K] {
+	return Map(d, func(kv KV[K, V]) K { return kv.K })
+}
+
+// Values projects the values of a keyed dataset.
+func Values[K comparable, V any](d *Dataset[KV[K, V]]) *Dataset[V] {
+	return Map(d, func(kv KV[K, V]) V { return kv.V })
+}

@@ -1,0 +1,91 @@
+package flow
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// spillManager hands out gob spill files for oversized shuffle buckets
+// and removes them when the context closes. It models Spark's
+// spill-to-disk behaviour (§4.1 of the paper): instead of pinning every
+// shuffle partition in executor memory, buckets beyond the threshold
+// round-trip through disk.
+type spillManager struct {
+	dir       string
+	threshold int
+	metrics   *Metrics
+
+	seq   atomic.Int64
+	mu    sync.Mutex
+	files []string
+}
+
+func newSpillManager(dir string, threshold int, m *Metrics) *spillManager {
+	return &spillManager{dir: dir, threshold: threshold, metrics: m}
+}
+
+func (s *spillManager) nextPath() string {
+	return filepath.Join(s.dir, fmt.Sprintf("spill-%d.gob", s.seq.Add(1)))
+}
+
+func (s *spillManager) register(path string) {
+	s.mu.Lock()
+	s.files = append(s.files, path)
+	s.mu.Unlock()
+}
+
+func (s *spillManager) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, f := range s.files {
+		if err := os.Remove(f); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	s.files = nil
+	return first
+}
+
+// spillWrite persists a bucket and returns its file path. It is generic
+// so each instantiation encodes the concrete record type; gob handles
+// the rest via reflection.
+func spillWrite[T any](s *spillManager, bucket []T) (string, error) {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return "", fmt.Errorf("flow: spill dir: %w", err)
+	}
+	path := s.nextPath()
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("flow: create spill: %w", err)
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(bucket); err != nil {
+		f.Close()
+		return "", fmt.Errorf("flow: encode spill: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("flow: close spill: %w", err)
+	}
+	s.register(path)
+	s.metrics.SpilledRecords.Add(int64(len(bucket)))
+	return path, nil
+}
+
+// spillRead loads a previously spilled bucket.
+func spillRead[T any](s *spillManager, path string) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flow: open spill: %w", err)
+	}
+	defer f.Close()
+	var bucket []T
+	if err := gob.NewDecoder(f).Decode(&bucket); err != nil {
+		return nil, fmt.Errorf("flow: decode spill: %w", err)
+	}
+	return bucket, nil
+}

@@ -1,0 +1,165 @@
+// Package fsjoin adapts FS-Join (Rong et al., ICDE 2017) — the
+// segment-partitioned set-similarity join from the paper's related work
+// (§2) — to top-k rankings under the Footrule distance.
+//
+// FS-Join partitions the data vertically: the canonical (frequency)
+// token order is cut into f contiguous segments, every record is routed
+// to each segment where it holds at least one token, and each segment
+// is joined independently. Its two selling points are reproduced:
+// no duplicate results (a pair is emitted only in the segment of its
+// canonically smallest common token) and smoother load than one-token
+// posting lists (a segment aggregates many tokens).
+package fsjoin
+
+import (
+	"fmt"
+
+	"rankjoin/internal/filters"
+	"rankjoin/internal/flow"
+	"rankjoin/internal/rankings"
+)
+
+// Options configures an FS-Join run.
+type Options struct {
+	// Theta is the normalized Footrule threshold θ ∈ [0, 1].
+	Theta float64
+	// Segments is the number of vertical segments f (the paper tunes
+	// it per dataset); 0 picks 2× the partition count.
+	Segments int
+	// Partitions is the shuffle partition count (0 = context default).
+	Partitions int
+}
+
+// Join finds all pairs within opts.Theta via segment partitioning.
+func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.Pair, error) {
+	if opts.Theta < 0 || opts.Theta > 1 {
+		return nil, fmt.Errorf("fsjoin: theta %v out of [0,1]", opts.Theta)
+	}
+	if len(rs) == 0 {
+		return nil, nil
+	}
+	k := rs[0].K()
+	for _, r := range rs {
+		if r.K() != k {
+			return nil, fmt.Errorf("fsjoin: mixed ranking lengths %d and %d", k, r.K())
+		}
+	}
+	maxDist := rankings.Threshold(opts.Theta, k)
+
+	parts := opts.Partitions
+	if parts <= 0 {
+		parts = ctx.Config().DefaultPartitions
+	}
+	segments := opts.Segments
+	if segments <= 0 {
+		segments = 2 * parts
+	}
+
+	ds := flow.Parallelize(ctx, rs, opts.Partitions)
+	ord, err := orderOf(ds, parts)
+	if err != nil {
+		return nil, err
+	}
+	ordB := flow.NewBroadcast(ctx, ord)
+	vocab := ord.Len()
+	if vocab < segments {
+		segments = vocab
+	}
+	segOf := func(item rankings.Item) int {
+		return int(int64(ordB.Value().Rank(item)) * int64(segments) / int64(vocab))
+	}
+	// Degenerate regime: zero-overlap result pairs (see
+	// rankings.CatchAllItem) go to an extra segment holding everything.
+	needAll := filters.MinOverlap(maxDist, k) == 0
+
+	routed := flow.FlatMap(ds, func(r *rankings.Ranking) []flow.KV[int, *rankings.Ranking] {
+		seen := make(map[int]struct{}, 4)
+		var out []flow.KV[int, *rankings.Ranking]
+		for _, it := range r.Items {
+			s := segOf(it)
+			if _, dup := seen[s]; !dup {
+				seen[s] = struct{}{}
+				out = append(out, flow.KV[int, *rankings.Ranking]{K: s, V: r})
+			}
+		}
+		if needAll {
+			out = append(out, flow.KV[int, *rankings.Ranking]{K: segments, V: r})
+		}
+		return out
+	})
+	groups := flow.GroupByKey(routed, parts)
+
+	pairs := flow.FlatMap(groups, func(g flow.KV[int, []*rankings.Ranking]) []rankings.Pair {
+		var out []rankings.Pair
+		for i := 0; i < len(g.V); i++ {
+			a := g.V[i]
+			for j := i + 1; j < len(g.V); j++ {
+				b := g.V[j]
+				if a.ID == b.ID {
+					continue
+				}
+				// Emit only in the segment of the canonically smallest
+				// common item — FS-Join's no-duplicates property. Pairs
+				// with no common item belong to the catch-all segment.
+				home, ok := minCommonSegment(ordB.Value(), segOf, a, b)
+				if !ok {
+					home = segments
+				}
+				if home != g.K {
+					continue
+				}
+				if filters.PositionPrune(a, b, maxDist) {
+					continue
+				}
+				if d, within := rankings.FootruleWithin(a, b, maxDist); within {
+					out = append(out, rankings.NewPair(a.ID, b.ID, d))
+				}
+			}
+		}
+		return out
+	})
+	out, err := pairs.Collect()
+	if err != nil {
+		return nil, err
+	}
+	rankings.SortPairs(out)
+	return out, nil
+}
+
+// minCommonSegment returns the segment of the canonically smallest item
+// the two rankings share, and whether they share any.
+func minCommonSegment(ord *rankings.Order, segOf func(rankings.Item) int, a, b *rankings.Ranking) (int, bool) {
+	best := int32(-1)
+	var bestItem rankings.Item
+	for _, it := range a.Items {
+		if b.Contains(it) {
+			if r := ord.Rank(it); best < 0 || r < best {
+				best = r
+				bestItem = it
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return segOf(bestItem), true
+}
+
+func orderOf(ds *flow.Dataset[*rankings.Ranking], parts int) (*rankings.Order, error) {
+	tokens := flow.FlatMap(ds, func(r *rankings.Ranking) []flow.KV[rankings.Item, int64] {
+		out := make([]flow.KV[rankings.Item, int64], len(r.Items))
+		for i, it := range r.Items {
+			out[i] = flow.KV[rankings.Item, int64]{K: it, V: 1}
+		}
+		return out
+	})
+	counted, err := flow.ReduceByKey(tokens, parts, func(a, b int64) int64 { return a + b }).Collect()
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[rankings.Item]int64, len(counted))
+	for _, kv := range counted {
+		counts[kv.K] = kv.V
+	}
+	return rankings.NewOrder(counts), nil
+}

@@ -1,0 +1,180 @@
+// Package metricspace implements the metric-space machinery the paper
+// positions its clustering against: random-centroid partition
+// clustering in the style of ClusterJoin / Wang et al. (§2, §5.1),
+// whose drawbacks (singleton-heavy partitions, cluster count fixed
+// upfront) motivate the paper's pair-derived clusters, plus a
+// pivot-based range index in the spirit of the authors' earlier
+// "coarse index" work. Both are used as baselines in ablation
+// benchmarks and as general-purpose utilities.
+package metricspace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rankjoin/internal/filters"
+	"rankjoin/internal/rankings"
+)
+
+// Cluster is one partition of a dataset: a centroid and the members
+// assigned to it (members exclude the centroid itself), with the exact
+// centroid distances retained for triangle filtering.
+type Cluster struct {
+	Centroid *rankings.Ranking
+	Members  []ClusterMember
+}
+
+// ClusterMember pairs a member ranking with its centroid distance.
+type ClusterMember struct {
+	R    *rankings.Ranking
+	Dist int
+}
+
+// RandomCentroidResult carries the clustering outcome and the
+// statistics the paper's critique focuses on.
+type RandomCentroidResult struct {
+	Clusters   []Cluster
+	Singletons []*rankings.Ranking
+	// AssignmentDistances is the number of distance computations spent
+	// assigning points — the cost the paper's pair-based clustering
+	// avoids.
+	AssignmentDistances int64
+}
+
+// RandomCentroidClustering clusters the dataset in the style the paper
+// argues against (§5.1): numCentroids points are drawn at random, every
+// other point is assigned to its closest centroid if that distance is
+// within maxDist, and unassigned points become singletons. It
+// reproduces the two failure modes the paper names — for small maxDist
+// most clusters stay empty, and the cluster count must be chosen
+// upfront.
+func RandomCentroidClustering(rs []*rankings.Ranking, numCentroids, maxDist int, seed int64) (RandomCentroidResult, error) {
+	if numCentroids <= 0 {
+		return RandomCentroidResult{}, fmt.Errorf("metricspace: numCentroids must be positive, got %d", numCentroids)
+	}
+	var res RandomCentroidResult
+	if len(rs) == 0 {
+		return res, nil
+	}
+	if numCentroids > len(rs) {
+		numCentroids = len(rs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(rs))
+	centroidIdx := make(map[int]int, numCentroids) // dataset index -> cluster index
+	clusters := make([]Cluster, numCentroids)
+	for c := 0; c < numCentroids; c++ {
+		clusters[c] = Cluster{Centroid: rs[perm[c]]}
+		centroidIdx[perm[c]] = c
+	}
+	for i, r := range rs {
+		if _, isCentroid := centroidIdx[i]; isCentroid {
+			continue
+		}
+		best, bestDist := -1, maxDist+1
+		for c := range clusters {
+			res.AssignmentDistances++
+			if d, ok := rankings.FootruleWithin(r, clusters[c].Centroid, bestDist-1); ok {
+				best, bestDist = c, d
+			}
+		}
+		if best >= 0 {
+			clusters[best].Members = append(clusters[best].Members,
+				ClusterMember{R: r, Dist: bestDist})
+		} else {
+			res.Singletons = append(res.Singletons, r)
+		}
+	}
+	res.Clusters = clusters
+	return res, nil
+}
+
+// EmptyClusterFraction reports the fraction of clusters that attracted
+// no members — the paper's headline critique of random centroids under
+// small clustering thresholds.
+func (r RandomCentroidResult) EmptyClusterFraction() float64 {
+	if len(r.Clusters) == 0 {
+		return 0
+	}
+	empty := 0
+	for _, c := range r.Clusters {
+		if len(c.Members) == 0 {
+			empty++
+		}
+	}
+	return float64(empty) / float64(len(r.Clusters))
+}
+
+// PivotIndex is a LAESA-style metric index: every record's distance to
+// a set of pivot rankings is precomputed; range queries prune records
+// whose pivot distances already violate the triangle inequality before
+// any real distance is computed. This is the "coarse index" idea from
+// the authors' earlier top-k-list similarity-search work.
+type PivotIndex struct {
+	pivots []*rankings.Ranking
+	data   []*rankings.Ranking
+	table  [][]int // table[i][p] = d(data[i], pivots[p])
+}
+
+// BuildPivotIndex selects numPivots pivots at random (seeded) and
+// precomputes the distance table.
+func BuildPivotIndex(rs []*rankings.Ranking, numPivots int, seed int64) (*PivotIndex, error) {
+	if numPivots <= 0 {
+		return nil, fmt.Errorf("metricspace: numPivots must be positive, got %d", numPivots)
+	}
+	if numPivots > len(rs) {
+		numPivots = len(rs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(rs))
+	idx := &PivotIndex{
+		pivots: make([]*rankings.Ranking, numPivots),
+		data:   rs,
+		table:  make([][]int, len(rs)),
+	}
+	for p := 0; p < numPivots; p++ {
+		idx.pivots[p] = rs[perm[p]]
+	}
+	for i, r := range rs {
+		row := make([]int, numPivots)
+		for p, piv := range idx.pivots {
+			row[p] = rankings.Footrule(r, piv)
+		}
+		idx.table[i] = row
+	}
+	return idx, nil
+}
+
+// RangeSearch returns all indexed rankings within maxDist of the query
+// (excluding the query itself when indexed, matched by id). verified
+// reports how many true distance computations were needed beyond the
+// pivot distances.
+func (x *PivotIndex) RangeSearch(q *rankings.Ranking, maxDist int) (hits []rankings.Pair, verified int64) {
+	qd := make([]int, len(x.pivots))
+	for p, piv := range x.pivots {
+		qd[p] = rankings.Footrule(q, piv)
+	}
+	for i, r := range x.data {
+		if r.ID == q.ID {
+			continue
+		}
+		pruned := false
+		for p := range x.pivots {
+			if filters.TrianglePrune(qd[p], x.table[i][p], maxDist) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		verified++
+		if d, ok := rankings.FootruleWithin(q, r, maxDist); ok {
+			hits = append(hits, rankings.NewPair(q.ID, r.ID, d))
+		}
+	}
+	return hits, verified
+}
+
+// Pivots returns the index's pivot rankings.
+func (x *PivotIndex) Pivots() []*rankings.Ranking { return x.pivots }

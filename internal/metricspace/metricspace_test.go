@@ -1,0 +1,149 @@
+package metricspace_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankjoin/internal/metricspace"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/testutil"
+)
+
+func TestRandomCentroidClusteringInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rs := testutil.ClusteredDataset(rng, 20, 4, 10, 60)
+	maxDist := rankings.Threshold(0.05, 10)
+	res, err := metricspace.RandomCentroidClustering(rs, 10, maxDist, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ranking is a centroid, a member of exactly one cluster, or
+	// a singleton.
+	seen := map[int64]int{}
+	for _, c := range res.Clusters {
+		seen[c.Centroid.ID]++
+		for _, m := range c.Members {
+			seen[m.R.ID]++
+			if m.Dist > maxDist {
+				t.Errorf("member %d at distance %d beyond radius %d", m.R.ID, m.Dist, maxDist)
+			}
+			if got := rankings.Footrule(m.R, c.Centroid); got != m.Dist {
+				t.Errorf("recorded distance %d, true %d", m.Dist, got)
+			}
+		}
+	}
+	for _, s := range res.Singletons {
+		seen[s.ID]++
+	}
+	if len(seen) != len(rs) {
+		t.Fatalf("%d of %d rankings assigned", len(seen), len(rs))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("ranking %d assigned %d times", id, n)
+		}
+	}
+	if res.AssignmentDistances == 0 {
+		t.Error("no assignment distances recorded")
+	}
+}
+
+// TestRandomCentroidsSingletonHeavy demonstrates the paper's critique:
+// with a tiny clustering threshold, random centroids leave most
+// clusters empty.
+func TestRandomCentroidsSingletonHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rs := testutil.RandDataset(rng, 400, 10, 400) // sparse: few near pairs
+	maxDist := rankings.Threshold(0.03, 10)
+	res, err := metricspace.RandomCentroidClustering(rs, 40, maxDist, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := res.EmptyClusterFraction(); frac < 0.5 {
+		t.Errorf("expected mostly-empty clusters on sparse data, got %.2f empty", frac)
+	}
+}
+
+func TestRandomCentroidValidation(t *testing.T) {
+	if _, err := metricspace.RandomCentroidClustering(nil, 0, 5, 1); err == nil {
+		t.Error("zero centroids accepted")
+	}
+	res, err := metricspace.RandomCentroidClustering(nil, 3, 5, 1)
+	if err != nil || len(res.Clusters) != 0 {
+		t.Errorf("empty dataset: %v %v", res, err)
+	}
+	// More centroids than points: clamps.
+	rng := rand.New(rand.NewSource(3))
+	rs := testutil.RandDataset(rng, 5, 6, 20)
+	res, err = metricspace.RandomCentroidClustering(rs, 50, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 5 {
+		t.Errorf("clusters = %d, want 5", len(res.Clusters))
+	}
+}
+
+// TestPivotIndexRangeSearchExact: pivot pruning must not lose results.
+func TestPivotIndexRangeSearchExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rs := testutil.ClusteredDataset(rng, 15, 4, 8, 50)
+	idx, err := metricspace.BuildPivotIndex(rs, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := rs[rng.Intn(len(rs))]
+		maxDist := rng.Intn(rankings.MaxFootrule(8) + 1)
+		hits, verified := idx.RangeSearch(q, maxDist)
+
+		var want []rankings.Pair
+		for _, r := range rs {
+			if r.ID == q.ID {
+				continue
+			}
+			if d, ok := rankings.FootruleWithin(q, r, maxDist); ok {
+				want = append(want, rankings.NewPair(q.ID, r.ID, d))
+			}
+		}
+		if !rankings.SamePairs(rankings.DedupPairs(hits), rankings.DedupPairs(want)) {
+			t.Fatalf("range search diverges for maxDist=%d", maxDist)
+		}
+		if verified > int64(len(rs)) {
+			t.Fatalf("verified %d > dataset size", verified)
+		}
+	}
+}
+
+// TestPivotIndexPrunes: for small radii the index must verify far fewer
+// records than a scan.
+func TestPivotIndexPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rs := testutil.RandDataset(rng, 500, 10, 200)
+	idx, err := metricspace.BuildPivotIndex(rs, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, verified := idx.RangeSearch(rs[0], rankings.Threshold(0.05, 10))
+	if verified >= int64(len(rs))-1 {
+		t.Errorf("pivot index verified everything (%d of %d)", verified, len(rs))
+	}
+	if len(idx.Pivots()) != 8 {
+		t.Errorf("pivots = %d", len(idx.Pivots()))
+	}
+}
+
+func TestPivotIndexValidation(t *testing.T) {
+	if _, err := metricspace.BuildPivotIndex(nil, 0, 1); err == nil {
+		t.Error("zero pivots accepted")
+	}
+	rng := rand.New(rand.NewSource(6))
+	rs := testutil.RandDataset(rng, 3, 5, 20)
+	idx, err := metricspace.BuildPivotIndex(rs, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Pivots()) != 3 {
+		t.Errorf("pivot clamp failed: %d", len(idx.Pivots()))
+	}
+}

@@ -1,0 +1,172 @@
+// Package ppjoin provides the in-memory similarity-join kernels that
+// the distributed algorithms execute inside partitions: a brute-force
+// oracle, a nested-loop kernel with the position filter (the VJ-NL
+// per-partition join of §4.1), a PPJoin-style prefix-index kernel (the
+// classic VJ per-partition join), and an R-S kernel across two lists
+// (used when repartitioned sub-partitions are joined pairwise, §6).
+//
+// All kernels emit canonical pairs (smaller id first), never pair a
+// ranking with itself, and take the threshold as an unnormalized
+// Footrule distance.
+package ppjoin
+
+import (
+	"rankjoin/internal/filters"
+	"rankjoin/internal/rankings"
+)
+
+// Stats counts the work a kernel performed. Pass nil to skip counting.
+type Stats struct {
+	// Candidates is the number of pairs that reached the position
+	// filter.
+	Candidates int64
+	// Verified is the number of pairs whose Footrule distance was
+	// computed.
+	Verified int64
+	// Results is the number of emitted pairs.
+	Results int64
+}
+
+func (s *Stats) add(o Stats) {
+	if s == nil {
+		return
+	}
+	s.Candidates += o.Candidates
+	s.Verified += o.Verified
+	s.Results += o.Results
+}
+
+// BruteForce verifies every pair — the correctness oracle for tests and
+// the baseline for the smallest inputs.
+func BruteForce(rs []*rankings.Ranking, maxDist int, st *Stats) []rankings.Pair {
+	var local Stats
+	var out []rankings.Pair
+	for i := 0; i < len(rs); i++ {
+		for j := i + 1; j < len(rs); j++ {
+			if rs[i].ID == rs[j].ID {
+				continue
+			}
+			local.Candidates++
+			local.Verified++
+			if d, ok := rankings.FootruleWithin(rs[i], rs[j], maxDist); ok {
+				local.Results++
+				out = append(out, rankings.NewPair(rs[i].ID, rs[j].ID, d))
+			}
+		}
+	}
+	st.add(local)
+	return out
+}
+
+// NestedLoop joins a partition by walking ordered pairs with an
+// iterator-style nested loop: position filter first, then early-exit
+// verification. This is the Spark-friendly kernel the paper advocates
+// in §4.1 — no per-partition index, no retained state beyond the two
+// cursors.
+func NestedLoop(rs []*rankings.Ranking, maxDist int, st *Stats) []rankings.Pair {
+	var local Stats
+	var out []rankings.Pair
+	for i := 0; i < len(rs); i++ {
+		a := rs[i]
+		for j := i + 1; j < len(rs); j++ {
+			b := rs[j]
+			if a.ID == b.ID {
+				continue
+			}
+			local.Candidates++
+			if filters.PositionPrune(a, b, maxDist) {
+				continue
+			}
+			local.Verified++
+			if d, ok := rankings.FootruleWithin(a, b, maxDist); ok {
+				local.Results++
+				out = append(out, rankings.NewPair(a.ID, b.ID, d))
+			}
+		}
+	}
+	st.add(local)
+	return out
+}
+
+// PrefixIndex joins a partition PPJoin-style: the canonical prefixes of
+// all rankings are indexed with an inverted index; only pairs sharing a
+// prefix item become candidates, pruned item-by-item with the position
+// filter while scanning posting lists, then verified. This mirrors the
+// in-memory join Vernica et al. run inside each reducer, including the
+// memory profile the paper criticizes in §4.1: the whole partition is
+// indexed before any pair is emitted.
+//
+// prefix is the number of canonical-prefix items to index (derived by
+// the caller from maxDist via filters.PrefixOverlap).
+func PrefixIndex(rs []*rankings.Ranking, ord *rankings.Order, prefix, maxDist int, st *Stats) []rankings.Pair {
+	var local Stats
+	// Posting list entry: ranking index plus the item's original rank,
+	// so the position filter applies without a Pos lookup.
+	type posting struct {
+		idx  int
+		rank int32
+	}
+	index := make(map[rankings.Item][]posting)
+	seen := make(map[[2]int64]struct{})
+	var out []rankings.Pair
+	for i, r := range rs {
+		for _, it := range ord.Prefix(r, prefix) {
+			rank, _ := r.Pos(it)
+			for _, p := range index[it] {
+				other := rs[p.idx]
+				if other.ID == r.ID {
+					continue
+				}
+				key := [2]int64{other.ID, r.ID}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				local.Candidates++
+				if filters.PositionPruneItem(rank, p.rank, maxDist) {
+					continue
+				}
+				if filters.PositionPrune(r, other, maxDist) {
+					continue
+				}
+				local.Verified++
+				if d, ok := rankings.FootruleWithin(r, other, maxDist); ok {
+					local.Results++
+					out = append(out, rankings.NewPair(r.ID, other.ID, d))
+				}
+			}
+			index[it] = append(index[it], posting{idx: i, rank: rank})
+		}
+	}
+	st.add(local)
+	return out
+}
+
+// RS joins two lists against each other (no pairs within a list) —
+// the R-S join executed between two sub-partitions of a split posting
+// list (§6, Algorithm 3).
+func RS(r, s []*rankings.Ranking, maxDist int, st *Stats) []rankings.Pair {
+	var local Stats
+	var out []rankings.Pair
+	for _, a := range r {
+		for _, b := range s {
+			if a.ID == b.ID {
+				continue
+			}
+			local.Candidates++
+			if filters.PositionPrune(a, b, maxDist) {
+				continue
+			}
+			local.Verified++
+			if d, ok := rankings.FootruleWithin(a, b, maxDist); ok {
+				local.Results++
+				out = append(out, rankings.NewPair(a.ID, b.ID, d))
+			}
+		}
+	}
+	st.add(local)
+	return out
+}

@@ -1,0 +1,154 @@
+package rankings
+
+// This file implements the top-k adaptation of Spearman's Footrule
+// distance from Fagin, Kumar and Sivakumar, "Comparing Top k Lists"
+// (SIAM J. Discrete Math. 2003), as used throughout the paper:
+//
+//	F(τ, σ) = Σ_{i ∈ Dτ ∪ Dσ} |τ(i) − σ(i)|
+//
+// with ranks 0..k-1 and the artificial rank l = k for items a ranking
+// does not contain. Under that convention the distance is a metric,
+// ranges over [0, k(k+1)] for same-length rankings, and is normalized
+// to [0, 1] by dividing by k(k+1).
+
+// MaxFootrule returns the largest possible (unnormalized) Footrule
+// distance between two top-k rankings of length k: k·(k+1), attained
+// exactly by domain-disjoint rankings.
+func MaxFootrule(k int) int { return k * (k + 1) }
+
+// Footrule computes the unnormalized top-k Footrule distance between a
+// and b. Both rankings must have the same length k; the artificial rank
+// for missing items is l = k.
+//
+// The computation is O(k) given position indexes (see Ranking.Index);
+// without them it degrades to O(k²) scans, which is still fast for the
+// small k (10–25) the paper considers.
+func Footrule(a, b *Ranking) int {
+	k := len(a.Items)
+	d := 0
+	for rank, it := range a.Items {
+		if rb, ok := b.Pos(it); ok {
+			d += abs(rank - int(rb))
+		} else {
+			d += k - rank
+		}
+	}
+	for rank, it := range b.Items {
+		if !a.Contains(it) {
+			d += k - rank
+		}
+	}
+	return d
+}
+
+// FootruleNorm computes the Footrule distance normalized to [0, 1] by
+// the maximum distance k(k+1).
+func FootruleNorm(a, b *Ranking) float64 {
+	return float64(Footrule(a, b)) / float64(MaxFootrule(len(a.Items)))
+}
+
+// Threshold converts a normalized distance threshold θ ∈ [0,1] into the
+// largest unnormalized Footrule distance that still satisfies it:
+// ⌊θ·k·(k+1)⌋. A pair (a,b) satisfies the normalized threshold iff
+// Footrule(a,b) ≤ Threshold(θ,k).
+func Threshold(theta float64, k int) int {
+	return int(theta * float64(MaxFootrule(k)))
+}
+
+// FootruleWithin reports whether Footrule(a,b) ≤ maxDist, terminating
+// early once the running sum exceeds the bound. On datasets where most
+// pairs are distant this verifies candidates substantially faster than
+// computing the full distance.
+func FootruleWithin(a, b *Ranking, maxDist int) (int, bool) {
+	k := len(a.Items)
+	d := 0
+	for rank, it := range a.Items {
+		if rb, ok := b.Pos(it); ok {
+			d += abs(rank - int(rb))
+		} else {
+			d += k - rank
+		}
+		if d > maxDist {
+			return d, false
+		}
+	}
+	for rank, it := range b.Items {
+		if !a.Contains(it) {
+			d += k - rank
+			if d > maxDist {
+				return d, false
+			}
+		}
+	}
+	return d, true
+}
+
+// KendallTau computes Kendall's tau distance with the p = 0 "optimistic"
+// penalty for top-k lists (Fagin et al.): the number of item pairs
+// (i, j) that are ordered discordantly by the two rankings, counting
+// pairs where only one ranking contains both items as discordant when
+// their relative order is determined and violated. It is provided as a
+// companion measure for applications; the join algorithms use Footrule.
+func KendallTau(a, b *Ranking) int {
+	a.Index()
+	b.Index()
+	k := len(a.Items)
+	union := make([]Item, 0, 2*k)
+	seen := make(map[Item]struct{}, 2*k)
+	for _, it := range a.Items {
+		union = append(union, it)
+		seen[it] = struct{}{}
+	}
+	for _, it := range b.Items {
+		if _, ok := seen[it]; !ok {
+			union = append(union, it)
+		}
+	}
+	d := 0
+	for x := 0; x < len(union); x++ {
+		for y := x + 1; y < len(union); y++ {
+			i, j := union[x], union[y]
+			ai, aHasI := a.Pos(i)
+			aj, aHasJ := a.Pos(j)
+			bi, bHasI := b.Pos(i)
+			bj, bHasJ := b.Pos(j)
+			switch {
+			case aHasI && aHasJ && bHasI && bHasJ:
+				if (ai < aj) != (bi < bj) {
+					d++
+				}
+			case aHasI && aHasJ && bHasI && !bHasJ:
+				// b ranks i, not j => b implies i ahead of j.
+				if ai > aj {
+					d++
+				}
+			case aHasI && aHasJ && !bHasI && bHasJ:
+				if ai < aj {
+					d++
+				}
+			case bHasI && bHasJ && aHasI && !aHasJ:
+				if bi > bj {
+					d++
+				}
+			case bHasI && bHasJ && !aHasI && aHasJ:
+				if bi < bj {
+					d++
+				}
+			case aHasI && !aHasJ && !bHasI && bHasJ:
+				// i only in a, j only in b: discordant (case 4,
+				// p-optimistic counts it as 1).
+				d++
+			case !aHasI && aHasJ && bHasI && !bHasJ:
+				d++
+			}
+		}
+	}
+	return d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

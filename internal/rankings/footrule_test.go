@@ -1,0 +1,175 @@
+package rankings_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/testutil"
+)
+
+// TestPaperExamples pins the worked examples of the paper: Table 2's
+// sample dataset with F(τ1, τ2) = 16, and the Lemma 4.1 illustration of
+// Figure 1 (k = 5, p = 2, F = 8).
+func TestPaperExamples(t *testing.T) {
+	t1 := rankings.MustNew(1, []rankings.Item{2, 5, 4, 3, 1})
+	t2 := rankings.MustNew(2, []rankings.Item{1, 4, 5, 9, 0})
+	t3 := rankings.MustNew(3, []rankings.Item{0, 8, 5, 7, 3})
+
+	if got := rankings.Footrule(t1, t2); got != 16 {
+		t.Errorf("F(t1,t2) = %d, want 16", got)
+	}
+	if got := rankings.Footrule(t1, t1); got != 0 {
+		t.Errorf("F(t1,t1) = %d, want 0", got)
+	}
+	if a, b := rankings.Footrule(t1, t3), rankings.Footrule(t3, t1); a != b {
+		t.Errorf("asymmetric: %d vs %d", a, b)
+	}
+
+	// Figure 1: same domain, each of the first p=2 items displaced into
+	// the next p positions => F = 2p² = 8.
+	ti := rankings.MustNew(10, []rankings.Item{1, 2, 3, 4, 5})
+	tj := rankings.MustNew(11, []rankings.Item{3, 4, 1, 2, 5})
+	if got := rankings.Footrule(ti, tj); got != 8 {
+		t.Errorf("figure 1 distance = %d, want 8", got)
+	}
+}
+
+func TestMaxFootruleDisjoint(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 10, 25} {
+		a := make([]rankings.Item, k)
+		b := make([]rankings.Item, k)
+		for i := 0; i < k; i++ {
+			a[i] = rankings.Item(i)
+			b[i] = rankings.Item(i + k)
+		}
+		ra, rb := rankings.MustNew(0, a), rankings.MustNew(1, b)
+		if got, want := rankings.Footrule(ra, rb), rankings.MaxFootrule(k); got != want {
+			t.Errorf("k=%d: disjoint distance %d, want max %d", k, got, want)
+		}
+		if got := rankings.FootruleNorm(ra, rb); got != 1 {
+			t.Errorf("k=%d: normalized disjoint distance %v, want 1", k, got)
+		}
+	}
+}
+
+func TestFootruleIdentityOfIndiscernibles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(12)
+		a := testutil.RandRanking(rng, 0, k, 3*k)
+		b := testutil.RandRanking(rng, 1, k, 3*k)
+		d := rankings.Footrule(a, b)
+		if (d == 0) != rankings.Equal(a, b) {
+			t.Fatalf("d=0 iff equal violated: d=%d a=%v b=%v", d, a, b)
+		}
+	}
+}
+
+func TestFootruleSymmetryQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		k := 1 + local.Intn(15)
+		a := testutil.RandRanking(local, 0, k, 2*k+local.Intn(3*k))
+		b := testutil.RandRanking(local, 1, k, 2*k+local.Intn(3*k))
+		return rankings.Footrule(a, b) == rankings.Footrule(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootruleTriangleInequalityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		k := 1 + local.Intn(12)
+		dom := k + 1 + local.Intn(3*k)
+		a := testutil.RandRanking(local, 0, k, dom)
+		b := testutil.RandRanking(local, 1, k, dom)
+		c := testutil.RandRanking(local, 2, k, dom)
+		dab := rankings.Footrule(a, b)
+		dbc := rankings.Footrule(b, c)
+		dac := rankings.Footrule(a, c)
+		return dac <= dab+dbc && dab <= dac+dbc && dbc <= dab+dac
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootruleRangeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		k := 1 + local.Intn(20)
+		dom := k + local.Intn(4*k)
+		a := testutil.RandRanking(local, 0, k, dom)
+		b := testutil.RandRanking(local, 1, k, dom)
+		d := rankings.Footrule(a, b)
+		return d >= 0 && d <= rankings.MaxFootrule(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootruleWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(12)
+		dom := k + rng.Intn(3*k)
+		a := testutil.RandRanking(rng, 0, k, dom)
+		b := testutil.RandRanking(rng, 1, k, dom)
+		d := rankings.Footrule(a, b)
+		bound := rng.Intn(rankings.MaxFootrule(k) + 1)
+		got, ok := rankings.FootruleWithin(a, b, bound)
+		if ok != (d <= bound) {
+			t.Fatalf("within(%d): got ok=%v, full distance %d", bound, ok, d)
+		}
+		if ok && got != d {
+			t.Fatalf("within returned %d, full distance %d", got, d)
+		}
+	}
+}
+
+func TestThresholdConversion(t *testing.T) {
+	// A pair satisfies θ (normalized) iff its unnormalized distance is
+	// ≤ Threshold(θ, k).
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		k := 2 + rng.Intn(12)
+		a := testutil.RandRanking(rng, 0, k, 3*k)
+		b := testutil.RandRanking(rng, 1, k, 3*k)
+		theta := rng.Float64()
+		f := rankings.Threshold(theta, k)
+		if (rankings.Footrule(a, b) <= f) != (rankings.FootruleNorm(a, b) <= theta) {
+			// Allow the boundary case introduced by floating point on
+			// exact multiples: recompute strictly.
+			d := rankings.Footrule(a, b)
+			if float64(d) != theta*float64(rankings.MaxFootrule(k)) {
+				t.Fatalf("threshold mismatch: d=%d θ=%v F=%d", d, theta, f)
+			}
+		}
+	}
+}
+
+func TestKendallTauBasics(t *testing.T) {
+	a := rankings.MustNew(0, []rankings.Item{1, 2, 3})
+	b := rankings.MustNew(1, []rankings.Item{3, 2, 1})
+	if got := rankings.KendallTau(a, b); got != 3 {
+		t.Errorf("reversal tau = %d, want 3", got)
+	}
+	if got := rankings.KendallTau(a, a); got != 0 {
+		t.Errorf("self tau = %d, want 0", got)
+	}
+	c := rankings.MustNew(2, []rankings.Item{4, 5, 6})
+	// Disjoint: every cross pair (i from a, j from c) is discordant
+	// (case 4): 3*3 = 9.
+	if got := rankings.KendallTau(a, c); got != 9 {
+		t.Errorf("disjoint tau = %d, want 9", got)
+	}
+	if x, y := rankings.KendallTau(a, b), rankings.KendallTau(b, a); x != y {
+		t.Errorf("tau asymmetric: %d vs %d", x, y)
+	}
+}

@@ -1,0 +1,70 @@
+package rankings_test
+
+import (
+	"strings"
+	"testing"
+
+	"rankjoin/internal/rankings"
+)
+
+// FuzzParseLine: the parser must never panic and must only accept lines
+// that round-trip.
+func FuzzParseLine(f *testing.F) {
+	for _, seed := range []string{
+		"1 2 3", "7: 4 5 6", "1,2,3", "", ":", "a b", "9:", "-1 -2",
+		"1 1", "2147483647 0", "9999999999999", "5:\t1,  2 3 ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := rankings.ParseLine(line, 42)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid ranking %v: %v", r, err)
+		}
+		var sb strings.Builder
+		if err := rankings.Write(&sb, []*rankings.Ranking{r}); err != nil {
+			t.Fatal(err)
+		}
+		back, err := rankings.Read(strings.NewReader(sb.String()))
+		if err != nil || len(back) != 1 {
+			t.Fatalf("round trip failed: %v %v", back, err)
+		}
+		if back[0].ID != r.ID || !rankings.Equal(back[0], r) {
+			t.Fatalf("round trip changed %v to %v", r, back[0])
+		}
+	})
+}
+
+// FuzzFootruleMetric: any pair of parsed rankings of equal length must
+// satisfy the metric axioms and the distance bounds.
+func FuzzFootruleMetric(f *testing.F) {
+	f.Add("1 2 3", "3 2 1")
+	f.Add("5 6 7", "8 9 10")
+	f.Add("1 2", "2 1")
+	f.Fuzz(func(t *testing.T, la, lb string) {
+		a, errA := rankings.ParseLine(la, 0)
+		b, errB := rankings.ParseLine(lb, 1)
+		if errA != nil || errB != nil || a.K() != b.K() {
+			return
+		}
+		d := rankings.Footrule(a, b)
+		if d != rankings.Footrule(b, a) {
+			t.Fatal("asymmetric")
+		}
+		if d < 0 || d > rankings.MaxFootrule(a.K()) {
+			t.Fatalf("distance %d out of range", d)
+		}
+		if (d == 0) != rankings.Equal(a, b) {
+			t.Fatalf("identity violated: d=%d", d)
+		}
+		if got, ok := rankings.FootruleWithin(a, b, d); !ok || got != d {
+			t.Fatalf("FootruleWithin(d) inconsistent: %d %v", got, ok)
+		}
+		if _, ok := rankings.FootruleWithin(a, b, d-1); ok && d > 0 {
+			t.Fatal("FootruleWithin(d-1) accepted")
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package rankings
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pair is one similarity-join result: an unordered pair of ranking ids
+// stored in canonical (A < B) form together with their unnormalized
+// Footrule distance.
+type Pair struct {
+	A, B int64
+	Dist int
+}
+
+// NewPair builds a canonical pair from two ranking ids.
+func NewPair(a, b int64, dist int) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b, Dist: dist}
+}
+
+// Key returns a comparable identity for the pair that ignores the
+// distance, for use as a dedup or shuffle key.
+func (p Pair) Key() PairKey { return PairKey{A: p.A, B: p.B} }
+
+// PairKey identifies an unordered pair of rankings.
+type PairKey struct{ A, B int64 }
+
+// String renders the pair as "(a,b,d)".
+func (p Pair) String() string { return fmt.Sprintf("(%d,%d,%d)", p.A, p.B, p.Dist) }
+
+// SortPairs orders pairs by (A, B) for deterministic output and
+// comparison in tests.
+func SortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}
+
+// DedupPairs sorts pairs and removes duplicates in place, mirroring the
+// final duplicate-elimination phase every distributed algorithm in the
+// paper ends with. Among duplicates the smallest recorded distance is
+// kept (duplicates always carry the same true distance; the min guards
+// against callers mixing verified and bounded entries).
+func DedupPairs(ps []Pair) []Pair {
+	if len(ps) == 0 {
+		return ps
+	}
+	SortPairs(ps)
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		last := &out[len(out)-1]
+		if p.A == last.A && p.B == last.B {
+			if p.Dist < last.Dist {
+				last.Dist = p.Dist
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// SamePairs reports whether the two pair sets contain exactly the same
+// unordered id pairs (distances included), regardless of input order.
+func SamePairs(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append([]Pair(nil), a...)
+	bc := append([]Pair(nil), b...)
+	SortPairs(ac)
+	SortPairs(bc)
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffPairs returns the pairs present in a but not in b and vice versa,
+// matching on ids only. Useful for debugging algorithm discrepancies.
+func DiffPairs(a, b []Pair) (onlyA, onlyB []Pair) {
+	inB := make(map[PairKey]struct{}, len(b))
+	for _, p := range b {
+		inB[p.Key()] = struct{}{}
+	}
+	inA := make(map[PairKey]struct{}, len(a))
+	for _, p := range a {
+		inA[p.Key()] = struct{}{}
+	}
+	for _, p := range a {
+		if _, ok := inB[p.Key()]; !ok {
+			onlyA = append(onlyA, p)
+		}
+	}
+	for _, p := range b {
+		if _, ok := inA[p.Key()]; !ok {
+			onlyB = append(onlyB, p)
+		}
+	}
+	return onlyA, onlyB
+}

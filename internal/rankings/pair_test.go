@@ -1,0 +1,53 @@
+package rankings_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/rankings"
+)
+
+func TestNewPairCanonicalizes(t *testing.T) {
+	p := rankings.NewPair(9, 3, 5)
+	if p.A != 3 || p.B != 9 || p.Dist != 5 {
+		t.Errorf("got %v", p)
+	}
+	if p.Key() != (rankings.PairKey{A: 3, B: 9}) {
+		t.Errorf("key %v", p.Key())
+	}
+}
+
+func TestDedupPairs(t *testing.T) {
+	in := []rankings.Pair{
+		rankings.NewPair(2, 1, 4),
+		rankings.NewPair(1, 2, 4),
+		rankings.NewPair(3, 1, 7),
+		rankings.NewPair(2, 1, 3), // duplicate with smaller dist wins
+	}
+	out := rankings.DedupPairs(in)
+	want := []rankings.Pair{{A: 1, B: 2, Dist: 3}, {A: 1, B: 3, Dist: 7}}
+	if !rankings.SamePairs(out, want) {
+		t.Errorf("got %v, want %v", out, want)
+	}
+	if got := rankings.DedupPairs(nil); len(got) != 0 {
+		t.Errorf("dedup(nil) = %v", got)
+	}
+}
+
+func TestSamePairsAndDiff(t *testing.T) {
+	a := []rankings.Pair{{A: 1, B: 2, Dist: 1}, {A: 2, B: 3, Dist: 2}}
+	b := []rankings.Pair{{A: 2, B: 3, Dist: 2}, {A: 1, B: 2, Dist: 1}}
+	if !rankings.SamePairs(a, b) {
+		t.Error("order should not matter")
+	}
+	c := []rankings.Pair{{A: 1, B: 2, Dist: 1}, {A: 2, B: 4, Dist: 2}}
+	if rankings.SamePairs(a, c) {
+		t.Error("different sets reported equal")
+	}
+	onlyA, onlyC := rankings.DiffPairs(a, c)
+	if len(onlyA) != 1 || onlyA[0].B != 3 {
+		t.Errorf("onlyA = %v", onlyA)
+	}
+	if len(onlyC) != 1 || onlyC[0].B != 4 {
+		t.Errorf("onlyC = %v", onlyC)
+	}
+}

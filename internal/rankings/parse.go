@@ -1,0 +1,105 @@
+package rankings
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format mirrors the preprocessed benchmark files used in
+// the paper's experimental study: one ranking per line, whitespace- (or
+// comma-) separated item ids, best-ranked item first. Ranking ids are
+// assigned by line number unless the line carries an explicit
+// "id:" prefix.
+
+// ParseLine parses a single ranking line. Accepted forms:
+//
+//	"2 5 4 3 1"        items only; id taken from the id argument
+//	"7: 2 5 4 3 1"     explicit id
+//	"2,5,4,3,1"        comma separated
+func ParseLine(line string, id int64) (*Ranking, error) {
+	line = strings.TrimSpace(line)
+	if i := strings.IndexByte(line, ':'); i >= 0 {
+		explicit, err := strconv.ParseInt(strings.TrimSpace(line[:i]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rankings: bad id %q: %w", line[:i], err)
+		}
+		id = explicit
+		line = line[i+1:]
+	}
+	fields := strings.FieldsFunc(line, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("rankings: line %d: %w", id, ErrEmpty)
+	}
+	items := make([]Item, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("rankings: bad item %q: %w", f, err)
+		}
+		items = append(items, Item(v))
+	}
+	return New(id, items)
+}
+
+// Read parses a whole dataset from r, one ranking per line, skipping
+// blank lines and lines starting with '#'. Ids default to the 0-based
+// index of the ranking within the stream.
+func Read(r io.Reader) ([]*Ranking, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []*Ranking
+	var id int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rk, err := ParseLine(line, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rk)
+		id++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rankings: read: %w", err)
+	}
+	return out, nil
+}
+
+// Write serializes the dataset in the format accepted by Read, with
+// explicit ids so round-trips preserve identity.
+func Write(w io.Writer, rs []*Ranking) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rs {
+		if _, err := fmt.Fprintf(bw, "%d:", r.ID); err != nil {
+			return fmt.Errorf("rankings: write: %w", err)
+		}
+		for i, it := range r.Items {
+			sep := " "
+			if i == 0 {
+				sep = " "
+			}
+			if _, err := fmt.Fprintf(bw, "%s%d", sep, it); err != nil {
+				return fmt.Errorf("rankings: write: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("rankings: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// IndexAll builds the position index of every ranking, so that
+// subsequent distance computations across goroutines are read-only.
+func IndexAll(rs []*Ranking) {
+	for _, r := range rs {
+		r.Index()
+	}
+}

@@ -1,0 +1,171 @@
+// Package rankings defines fixed-length top-k rankings and the top-k
+// adaptation of Spearman's Footrule distance (Fagin et al.), which the
+// similarity-join algorithms in this repository operate on.
+//
+// A top-k ranking is a bijection from a domain of k items onto the rank
+// positions 0..k-1, where position 0 is the best (top) rank. Two rankings
+// need not share a domain. Items are represented by integer ids.
+package rankings
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Item identifies a ranked entity (a token, movie, product, ...).
+type Item = int32
+
+// CatchAllItem is a reserved token the join pipelines emit for every
+// ranking when the distance threshold is so loose that two rankings
+// can be within it while sharing no item (MinOverlap == 0, i.e.
+// θ + 2θc ≥ 1). Prefix filtering is incomplete in that degenerate
+// regime — disjoint rankings meet no posting list — so the catch-all
+// group pairs everything with everything. Real item ids never take
+// this value (it is the minimum int32).
+const CatchAllItem Item = -1 << 31
+
+// Ranking is a fixed-length top-k list. Items[r] is the item placed at
+// rank r (0-based; rank 0 is the top position). A ranking contains no
+// duplicate items.
+type Ranking struct {
+	// ID uniquely identifies the ranking within a dataset.
+	ID int64
+	// Items holds the ranked items, best first.
+	Items []Item
+
+	// pos caches item -> rank for O(1) lookups during distance
+	// computation. Built lazily by Index or implicitly by Pos.
+	pos map[Item]int32
+}
+
+// New constructs a ranking and validates that items are duplicate-free.
+func New(id int64, items []Item) (*Ranking, error) {
+	r := &Ranking{ID: id, Items: items}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MustNew is New for tests and examples with known-good data; it panics
+// on invalid input.
+func MustNew(id int64, items []Item) *Ranking {
+	r, err := New(id, items)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ErrDuplicateItem reports a ranking that mentions the same item twice.
+var ErrDuplicateItem = errors.New("rankings: duplicate item in ranking")
+
+// ErrEmpty reports a ranking without items.
+var ErrEmpty = errors.New("rankings: empty ranking")
+
+// Validate checks the structural invariants of a top-k list: at least
+// one item and no duplicates.
+func (r *Ranking) Validate() error {
+	if len(r.Items) == 0 {
+		return fmt.Errorf("ranking %d: %w", r.ID, ErrEmpty)
+	}
+	seen := make(map[Item]struct{}, len(r.Items))
+	for _, it := range r.Items {
+		if _, dup := seen[it]; dup {
+			return fmt.Errorf("ranking %d: item %d: %w", r.ID, it, ErrDuplicateItem)
+		}
+		seen[it] = struct{}{}
+	}
+	return nil
+}
+
+// K returns the length of the ranking.
+func (r *Ranking) K() int { return len(r.Items) }
+
+// Index builds the item->rank lookup table. Calling it once after load
+// makes subsequent Pos (and therefore Footrule) calls allocation-free.
+// It is idempotent. Index is not safe for concurrent use with itself;
+// build indexes before sharing a ranking across goroutines.
+func (r *Ranking) Index() {
+	if r.pos != nil {
+		return
+	}
+	pos := make(map[Item]int32, len(r.Items))
+	for rank, it := range r.Items {
+		pos[it] = int32(rank)
+	}
+	r.pos = pos
+}
+
+// Pos returns the rank of item and whether the ranking contains it.
+func (r *Ranking) Pos(item Item) (int32, bool) {
+	if r.pos == nil {
+		// Small k: a linear scan avoids building the index for
+		// throwaway rankings.
+		for rank, it := range r.Items {
+			if it == item {
+				return int32(rank), true
+			}
+		}
+		return 0, false
+	}
+	p, ok := r.pos[item]
+	return p, ok
+}
+
+// Contains reports whether the ranking mentions item.
+func (r *Ranking) Contains(item Item) bool {
+	_, ok := r.Pos(item)
+	return ok
+}
+
+// Domain returns the ranking's items in ascending item-id order.
+func (r *Ranking) Domain() []Item {
+	d := make([]Item, len(r.Items))
+	copy(d, r.Items)
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return d
+}
+
+// Overlap counts the items the two rankings share.
+func Overlap(a, b *Ranking) int {
+	short, long := a, b
+	if len(short.Items) > len(long.Items) {
+		short, long = long, short
+	}
+	long.Index()
+	n := 0
+	for _, it := range short.Items {
+		if long.Contains(it) {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether the two rankings place the same items at the
+// same ranks (ids are ignored).
+func Equal(a, b *Ranking) bool {
+	if len(a.Items) != len(b.Items) {
+		return false
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy sharing no state with r.
+func (r *Ranking) Clone() *Ranking {
+	items := make([]Item, len(r.Items))
+	copy(items, r.Items)
+	return &Ranking{ID: r.ID, Items: items}
+}
+
+// String renders the ranking as "id:[i0 i1 ...]".
+func (r *Ranking) String() string {
+	return fmt.Sprintf("%d:%v", r.ID, r.Items)
+}

@@ -1,0 +1,140 @@
+// Package stats implements the statistical tooling of the paper's §6:
+// the Zipf item-frequency model, the posting-list length estimate of
+// Equation 4, the derived guidance for choosing the partitioning
+// threshold δ, and skew estimation for real datasets.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"rankjoin/internal/rankings"
+)
+
+// ZipfPMF returns f(i; s, v): the probability of the item with
+// frequency rank i (1-based) under a Zipf distribution with skew s over
+// v distinct items.
+func ZipfPMF(i int, s float64, v int) float64 {
+	if i < 1 || i > v || v <= 0 {
+		return 0
+	}
+	return math.Pow(float64(i), -s) / harmonic(v, s)
+}
+
+// harmonic computes the generalized harmonic number H(v, s).
+func harmonic(v int, s float64) float64 {
+	h := 0.0
+	for i := 1; i <= v; i++ {
+		h += math.Pow(float64(i), -s)
+	}
+	return h
+}
+
+// ExpectedPostingListLength implements Equation 4 of the paper:
+//
+//	E[index list length] = Σ_i n · f(i; s, v')²
+//
+// where n is the number of rankings indexed, v' the number of distinct
+// items appearing in prefixes, and s the Zipf skew. It estimates the
+// average length of a prefix-index posting list, the quantity the
+// partitioning threshold δ should be calibrated against.
+func ExpectedPostingListLength(n int, s float64, vPrime int) float64 {
+	if n <= 0 || vPrime <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 1; i <= vPrime; i++ {
+		f := ZipfPMF(i, s, vPrime)
+		sum += float64(n) * f * f
+	}
+	return sum
+}
+
+// SuggestDelta turns the Equation 4 estimate into a partitioning
+// threshold: a small multiple of the expected posting-list length, so
+// that only genuinely skew-inflated lists are split (the paper warns
+// against very small δ). prefixTokens is the total number of emitted
+// prefix tokens (n · prefix size).
+func SuggestDelta(prefixTokens int, s float64, vPrime int) int {
+	est := ExpectedPostingListLength(prefixTokens, s, vPrime)
+	delta := int(4 * est)
+	if delta < 16 {
+		delta = 16
+	}
+	return delta
+}
+
+// EstimateSkew fits a Zipf skew parameter to observed item frequencies
+// with a least-squares regression of log(frequency) on log(rank).
+// Returns 0 for degenerate inputs (fewer than two distinct items).
+func EstimateSkew(counts map[rankings.Item]int64) float64 {
+	freqs := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			freqs = append(freqs, float64(c))
+		}
+	}
+	if len(freqs) < 2 {
+		return 0
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(freqs)))
+	var sx, sy, sxx, sxy float64
+	n := float64(len(freqs))
+	for i, f := range freqs {
+		x := math.Log(float64(i + 1))
+		y := math.Log(f)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return -slope
+}
+
+// PrefixVocabulary counts the distinct items that appear within the
+// first p canonical positions of the dataset's rankings — the v' of
+// Equation 4.
+func PrefixVocabulary(rs []*rankings.Ranking, ord *rankings.Order, p int) int {
+	seen := map[rankings.Item]struct{}{}
+	for _, r := range rs {
+		for _, it := range ord.Prefix(r, p) {
+			seen[it] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// FrequencyHistogram buckets item frequencies into powers of two,
+// returning bucket upper bounds and counts — a quick skew diagnostic
+// for experiment reports.
+func FrequencyHistogram(counts map[rankings.Item]int64) (bounds []int64, tallies []int64) {
+	if len(counts) == 0 {
+		return nil, nil
+	}
+	var maxC int64
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for b := int64(1); ; b *= 2 {
+		bounds = append(bounds, b)
+		if b >= maxC {
+			break
+		}
+	}
+	tallies = make([]int64, len(bounds))
+	for _, c := range counts {
+		idx := 0
+		for b := int64(1); b < c; b *= 2 {
+			idx++
+		}
+		tallies[idx]++
+	}
+	return bounds, tallies
+}

@@ -1,0 +1,154 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rankjoin/internal/dataset"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/stats"
+)
+
+func TestZipfPMFNormalizes(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 1.5} {
+		for _, v := range []int{1, 10, 100} {
+			sum := 0.0
+			for i := 1; i <= v; i++ {
+				p := stats.ZipfPMF(i, s, v)
+				if p < 0 || p > 1 {
+					t.Fatalf("pmf(%d;%v,%d) = %v out of range", i, s, v, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("s=%v v=%d: pmf sums to %v", s, v, sum)
+			}
+		}
+	}
+	if stats.ZipfPMF(0, 1, 10) != 0 || stats.ZipfPMF(11, 1, 10) != 0 {
+		t.Error("out-of-range ranks should have probability 0")
+	}
+	// Monotone decreasing in rank for s > 0.
+	for i := 1; i < 50; i++ {
+		if stats.ZipfPMF(i, 0.8, 50) < stats.ZipfPMF(i+1, 0.8, 50) {
+			t.Fatalf("pmf not decreasing at rank %d", i)
+		}
+	}
+}
+
+func TestExpectedPostingListLength(t *testing.T) {
+	// Uniform items: E = Σ n·(1/v)² = n/v — the obvious average.
+	if got, want := stats.ExpectedPostingListLength(1000, 0, 100), 10.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("uniform estimate %v, want %v", got, want)
+	}
+	// Skew inflates the estimate: the head items dominate.
+	uniform := stats.ExpectedPostingListLength(1000, 0, 100)
+	skewed := stats.ExpectedPostingListLength(1000, 1.0, 100)
+	if skewed <= uniform {
+		t.Errorf("skewed estimate %v not above uniform %v", skewed, uniform)
+	}
+	if stats.ExpectedPostingListLength(0, 1, 10) != 0 {
+		t.Error("zero rankings should estimate 0")
+	}
+	if stats.ExpectedPostingListLength(10, 1, 0) != 0 {
+		t.Error("empty vocabulary should estimate 0")
+	}
+}
+
+// TestEstimateAgainstEmpiricalPostingLists: the Equation 4 estimate
+// must land in the right ballpark of the true average posting-list
+// length of a generated Zipf dataset (within a small factor — it is a
+// guidance formula, not an exact law).
+func TestEstimateAgainstEmpiricalPostingLists(t *testing.T) {
+	rs, err := dataset.Generate(dataset.GenConfig{
+		N: 4000, K: 10, Domain: 2000, Skew: 0.9, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := rankings.ItemCounts(rs)
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	empirical := float64(0)
+	for _, c := range counts {
+		empirical += float64(c) * float64(c)
+	}
+	empirical /= float64(total) // length-weighted average posting list
+	est := stats.ExpectedPostingListLength(int(total), stats.EstimateSkew(counts), len(counts))
+	ratio := est / empirical
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("estimate %v vs empirical %v (ratio %v) — formula off by more than 5x", est, empirical, ratio)
+	}
+}
+
+func TestSuggestDelta(t *testing.T) {
+	d := stats.SuggestDelta(100000, 0.9, 5000)
+	if d < 16 {
+		t.Errorf("delta %d below floor", d)
+	}
+	if floor := stats.SuggestDelta(10, 0, 100); floor != 16 {
+		t.Errorf("tiny input delta = %d, want floor 16", floor)
+	}
+	// More skew, larger suggested delta.
+	if stats.SuggestDelta(100000, 1.2, 5000) <= stats.SuggestDelta(100000, 0.2, 5000) {
+		t.Error("delta not increasing with skew")
+	}
+}
+
+func TestEstimateSkewRecoversGenerator(t *testing.T) {
+	for _, s := range []float64{0.6, 0.9, 1.2} {
+		rs, err := dataset.Generate(dataset.GenConfig{
+			N: 6000, K: 10, Domain: 3000, Skew: s, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := stats.EstimateSkew(rankings.ItemCounts(rs))
+		if math.Abs(got-s) > 0.35 {
+			t.Errorf("skew %v estimated as %v", s, got)
+		}
+	}
+	if stats.EstimateSkew(nil) != 0 {
+		t.Error("empty counts should estimate 0")
+	}
+	if stats.EstimateSkew(map[rankings.Item]int64{1: 5}) != 0 {
+		t.Error("single item should estimate 0")
+	}
+}
+
+func TestPrefixVocabulary(t *testing.T) {
+	rs := []*rankings.Ranking{
+		rankings.MustNew(0, []rankings.Item{1, 2, 3}),
+		rankings.MustNew(1, []rankings.Item{2, 3, 4}),
+	}
+	ord := rankings.OrderFromDataset(rs)
+	if got := stats.PrefixVocabulary(rs, ord, 3); got != 4 {
+		t.Errorf("full vocabulary = %d, want 4", got)
+	}
+	v1 := stats.PrefixVocabulary(rs, ord, 1)
+	if v1 < 1 || v1 > 2 {
+		t.Errorf("prefix-1 vocabulary = %d", v1)
+	}
+}
+
+func TestFrequencyHistogram(t *testing.T) {
+	counts := map[rankings.Item]int64{1: 1, 2: 2, 3: 3, 4: 100}
+	bounds, tallies := stats.FrequencyHistogram(counts)
+	if len(bounds) != len(tallies) {
+		t.Fatalf("bounds %d vs tallies %d", len(bounds), len(tallies))
+	}
+	var total int64
+	for _, n := range tallies {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("histogram covers %d items, want 4", total)
+	}
+	if b, tl := stats.FrequencyHistogram(nil); b != nil || tl != nil {
+		t.Error("empty histogram should be nil")
+	}
+	_ = rand.Int
+}

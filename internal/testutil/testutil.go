@@ -1,0 +1,88 @@
+// Package testutil provides deterministic random dataset generation
+// shared by the test suites of the join packages.
+package testutil
+
+import (
+	"math/rand"
+
+	"rankjoin/internal/rankings"
+)
+
+// RandRanking draws a duplicate-free top-k ranking with items from
+// [0, domain).
+func RandRanking(rng *rand.Rand, id int64, k, domain int) *rankings.Ranking {
+	if domain < k {
+		panic("testutil: domain smaller than k")
+	}
+	items := make([]rankings.Item, 0, k)
+	seen := make(map[rankings.Item]struct{}, k)
+	for len(items) < k {
+		it := rankings.Item(rng.Intn(domain))
+		if _, dup := seen[it]; dup {
+			continue
+		}
+		seen[it] = struct{}{}
+		items = append(items, it)
+	}
+	r := rankings.MustNew(id, items)
+	r.Index()
+	return r
+}
+
+// RandDataset draws n rankings of length k over a domain of the given
+// size. Small domains yield many near pairs; large domains few.
+func RandDataset(rng *rand.Rand, n, k, domain int) []*rankings.Ranking {
+	rs := make([]*rankings.Ranking, n)
+	for i := range rs {
+		rs[i] = RandRanking(rng, int64(i), k, domain)
+	}
+	return rs
+}
+
+// ClusteredDataset draws base "seed" rankings and, around each, a few
+// near-duplicates obtained by swapping adjacent positions or replacing
+// a bottom item — producing datasets with genuine clusters at small
+// Footrule distances, the regime the CL pipeline targets.
+func ClusteredDataset(rng *rand.Rand, seeds, perSeed, k, domain int) []*rankings.Ranking {
+	var out []*rankings.Ranking
+	id := int64(0)
+	for s := 0; s < seeds; s++ {
+		base := RandRanking(rng, id, k, domain)
+		id++
+		out = append(out, base)
+		for m := 0; m < perSeed; m++ {
+			items := make([]rankings.Item, k)
+			copy(items, base.Items)
+			// A couple of gentle perturbations.
+			for t := 0; t < 1+rng.Intn(2); t++ {
+				switch rng.Intn(3) {
+				case 0: // swap adjacent ranks
+					i := rng.Intn(k - 1)
+					items[i], items[i+1] = items[i+1], items[i]
+				case 1: // replace the bottom item with a fresh one
+					for {
+						it := rankings.Item(rng.Intn(domain))
+						fresh := true
+						for _, have := range items {
+							if have == it {
+								fresh = false
+								break
+							}
+						}
+						if fresh {
+							items[k-1] = it
+							break
+						}
+					}
+				case 2: // rotate the bottom two
+					items[k-2], items[k-1] = items[k-1], items[k-2]
+				}
+			}
+			r := rankings.MustNew(id, items)
+			r.Index()
+			id++
+			out = append(out, r)
+		}
+	}
+	return out
+}

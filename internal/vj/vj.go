@@ -1,0 +1,261 @@
+package vj
+
+import (
+	"fmt"
+
+	"rankjoin/internal/filters"
+	"rankjoin/internal/flow"
+	"rankjoin/internal/ppjoin"
+	"rankjoin/internal/rankings"
+)
+
+// Variant selects the per-partition join kernel.
+type Variant int
+
+const (
+	// IndexJoin is the classic VJ formulation: a PPJoin-style inverted
+	// index built over every posting-list partition.
+	IndexJoin Variant = iota
+	// NestedLoop is the VJ-NL formulation of §4.1: iterator-style
+	// nested loops with the position filter, no per-partition index.
+	NestedLoop
+)
+
+func (v Variant) String() string {
+	switch v {
+	case IndexJoin:
+		return "VJ"
+	case NestedLoop:
+		return "VJ-NL"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Options configures a VJ-style join.
+type Options struct {
+	// Theta is the normalized Footrule distance threshold θ ∈ [0, 1].
+	Theta float64
+	// Variant selects the per-partition kernel (default IndexJoin).
+	Variant Variant
+	// Partitions is the shuffle partition count (0 = context default).
+	Partitions int
+	// Order, when non-nil, is a precomputed canonical item ordering;
+	// the frequency-counting stage is then skipped. The CL pipeline
+	// uses this to order once and join twice (§5 "Ordering").
+	Order *rankings.Order
+	// SkipReorder disables frequency reordering (identity order) — the
+	// §4 ablation: the paper keeps the reordering stage because skewed
+	// real-world data profits from it.
+	SkipReorder bool
+	// Delta is the §6 repartitioning threshold δ; 0 disables splitting.
+	Delta int
+	// RepartitionFactor scales partition counts after a split (0 = 2).
+	RepartitionFactor int
+	// LeastTokenDedup, when true, emits each result pair only in the
+	// group of the canonically smallest common prefix token instead of
+	// deduplicating with a final shuffle — an engine-level alternative
+	// to the paper's "remove duplicates at the end" phase, kept as an
+	// ablation.
+	LeastTokenDedup bool
+	// Stats, when non-nil, receives kernel and group accounting.
+	Stats *Stats
+}
+
+func (o Options) validate(rs []*rankings.Ranking) (k int, err error) {
+	if o.Theta < 0 || o.Theta > 1 {
+		return 0, fmt.Errorf("vj: theta %v out of [0,1]", o.Theta)
+	}
+	if len(rs) == 0 {
+		return 0, nil
+	}
+	k = rs[0].K()
+	for _, r := range rs {
+		if r.K() != k {
+			return 0, fmt.Errorf("vj: mixed ranking lengths %d and %d (fixed-length rankings required)", k, r.K())
+		}
+	}
+	return k, nil
+}
+
+// Join finds all pairs of rankings with normalized Footrule distance at
+// most opts.Theta, using the Vernica-Join adaptation of §4 on the flow
+// engine: frequency ordering (broadcast), prefix emission, grouping by
+// token, per-group kernel join, final deduplication.
+func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.Pair, error) {
+	ds := flow.Parallelize(ctx, rs, opts.Partitions)
+	pairs, err := JoinDataset(ds, rs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pairs.Collect()
+}
+
+// JoinDataset is Join without the final collect, for callers composing
+// further stages. rs must be the same records the dataset holds (used
+// for ordering when opts.Order is nil).
+func JoinDataset(ds *flow.Dataset[*rankings.Ranking], rs []*rankings.Ranking, opts Options) (*flow.Dataset[rankings.Pair], error) {
+	k, err := opts.validate(rs)
+	if err != nil {
+		return nil, err
+	}
+	ctx := ds.Context()
+	if len(rs) == 0 {
+		return flow.Parallelize(ctx, []rankings.Pair(nil), 1), nil
+	}
+	maxDist := rankings.Threshold(opts.Theta, k)
+
+	ord, err := ResolveOrder(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	ordB := flow.NewBroadcast(ctx, ord)
+
+	prefix := filters.PrefixOverlap(maxDist, k)
+	// Degenerate regime: a threshold this loose admits zero-overlap
+	// result pairs, which no posting list can deliver — route every
+	// ranking through the catch-all group as well (see CatchAllItem).
+	needAll := filters.MinOverlap(maxDist, k) == 0
+	groups := PrefixGroups(ds, func(r *rankings.Ranking) []rankings.Item {
+		items := ordB.Value().Prefix(r, prefix)
+		if needAll {
+			items = append(append([]rankings.Item(nil), items...), rankings.CatchAllItem)
+		}
+		return items
+	}, opts.Partitions)
+
+	pairs := JoinTokenGroups(groups, GroupJoinOptions[*rankings.Ranking, rankings.Pair]{
+		Partitions:        opts.Partitions,
+		Delta:             opts.Delta,
+		RepartitionFactor: opts.RepartitionFactor,
+		SubKey:            func(r *rankings.Ranking) int64 { return r.ID },
+		Self:              selfKernel(ordB, prefix, maxDist, opts),
+		Cross:             crossKernel(ordB, prefix, maxDist, opts),
+		Stats:             opts.Stats,
+	})
+
+	if opts.LeastTokenDedup {
+		// Each pair was emitted exactly once; no dedup shuffle needed.
+		return pairs, nil
+	}
+	return flow.Distinct(pairs, opts.Partitions), nil
+}
+
+// ResolveOrder returns the canonical ordering the pipeline will use:
+// the supplied one, the identity order when reordering is disabled, or
+// a freshly computed frequency order via a distributed count — the
+// first VJ phase of §3.1/§4.
+func ResolveOrder(ds *flow.Dataset[*rankings.Ranking], opts Options) (*rankings.Order, error) {
+	if opts.Order != nil {
+		return opts.Order, nil
+	}
+	if opts.SkipReorder {
+		return rankings.IdentityOrder(), nil
+	}
+	return ComputeOrder(ds, opts.Partitions)
+}
+
+// ComputeOrder counts item frequencies with a distributed ReduceByKey
+// and builds the ascending-frequency canonical order.
+func ComputeOrder(ds *flow.Dataset[*rankings.Ranking], parts int) (*rankings.Order, error) {
+	tokens := flow.FlatMap(ds, func(r *rankings.Ranking) []flow.KV[rankings.Item, int64] {
+		out := make([]flow.KV[rankings.Item, int64], len(r.Items))
+		for i, it := range r.Items {
+			out[i] = flow.KV[rankings.Item, int64]{K: it, V: 1}
+		}
+		return out
+	})
+	counted, err := flow.ReduceByKey(tokens, parts, func(a, b int64) int64 { return a + b }).Collect()
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[rankings.Item]int64, len(counted))
+	for _, kv := range counted {
+		counts[kv.K] = kv.V
+	}
+	return rankings.NewOrder(counts), nil
+}
+
+// selfKernel builds the within-partition kernel for the selected
+// variant.
+func selfKernel(ordB flow.Broadcast[*rankings.Order], prefix, maxDist int, opts Options) func(rankings.Item, []*rankings.Ranking) []rankings.Pair {
+	return func(item rankings.Item, members []*rankings.Ranking) []rankings.Pair {
+		var st ppjoin.Stats
+		var out []rankings.Pair
+		switch {
+		case item == rankings.CatchAllItem:
+			// Members of the catch-all group need not share any item,
+			// so the prefix-index kernel would miss pairs; the nested
+			// loop is complete.
+			out = ppjoin.NestedLoop(members, maxDist, &st)
+		case opts.Variant == NestedLoop:
+			out = ppjoin.NestedLoop(members, maxDist, &st)
+		default:
+			out = ppjoin.PrefixIndex(members, ordB.Value(), prefix, maxDist, &st)
+		}
+		if opts.LeastTokenDedup {
+			out = filterLeastToken(ordB.Value(), prefix, item, members, out)
+		}
+		opts.Stats.AddKernel(st)
+		return out
+	}
+}
+
+// crossKernel builds the R-S kernel used between sub-partitions. With
+// least-token deduplication, the same filter applies: the pair is kept
+// only in the sub-partitions of its minimal shared prefix token.
+func crossKernel(ordB flow.Broadcast[*rankings.Order], prefix, maxDist int, opts Options) func(rankings.Item, []*rankings.Ranking, []*rankings.Ranking) []rankings.Pair {
+	return func(item rankings.Item, a, b []*rankings.Ranking) []rankings.Pair {
+		var st ppjoin.Stats
+		out := ppjoin.RS(a, b, maxDist, &st)
+		if opts.LeastTokenDedup {
+			members := make([]*rankings.Ranking, 0, len(a)+len(b))
+			members = append(members, a...)
+			members = append(members, b...)
+			out = filterLeastToken(ordB.Value(), prefix, item, members, out)
+		}
+		opts.Stats.AddKernel(st)
+		return out
+	}
+}
+
+// filterLeastToken keeps only the pairs whose group token is the
+// canonically smallest token shared by both rankings' prefixes.
+// Because every result pair co-occurs in exactly the groups of its
+// shared prefix tokens, this emits each pair exactly once across the
+// whole job, replacing the final dedup shuffle.
+func filterLeastToken(ord *rankings.Order, prefix int, groupToken rankings.Item, members []*rankings.Ranking, pairs []rankings.Pair) []rankings.Pair {
+	if len(pairs) == 0 {
+		return pairs
+	}
+	byID := make(map[int64]*rankings.Ranking, len(members))
+	for _, m := range members {
+		byID[m.ID] = m
+	}
+	out := pairs[:0]
+	for _, p := range pairs {
+		a, b := byID[p.A], byID[p.B]
+		if minCommonToken(ord, prefix, a, b) == groupToken {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// minCommonToken returns the canonically smallest item shared by the
+// two rankings' prefixes, or CatchAllItem when the prefixes are
+// disjoint (such a pair is only ever generated in the catch-all
+// group).
+func minCommonToken(ord *rankings.Order, prefix int, a, b *rankings.Ranking) rankings.Item {
+	pa := ord.Prefix(a, prefix) // canonical order: rarest first
+	pb := make(map[rankings.Item]struct{}, prefix)
+	for _, it := range ord.Prefix(b, prefix) {
+		pb[it] = struct{}{}
+	}
+	for _, it := range pa {
+		if _, ok := pb[it]; ok {
+			return it
+		}
+	}
+	return rankings.CatchAllItem
+}

@@ -1,0 +1,49 @@
+package rankjoin
+
+import (
+	"fmt"
+
+	"rankjoin/internal/vj"
+)
+
+// JoinRS finds all pairs (r ∈ R, s ∈ S) of rankings from two datasets
+// within normalized Footrule distance theta — the R-S counterpart of
+// the self-join (e.g. matching this week's user rankings against last
+// week's). The two datasets have independent id spaces: in each result
+// pair, A is the R-side id and B the S-side id, and pairs are sorted by
+// (A, B).
+func (e *Engine) JoinRS(r, s []*Ranking, opts Options) (*Result, error) {
+	if opts.Theta < 0 || opts.Theta > 1 {
+		return nil, fmt.Errorf("rankjoin: theta %v out of [0,1]", opts.Theta)
+	}
+	// Options.Algorithm is ignored: R-S joins always run the VJ-style
+	// prefix-filtered pipeline (the CL clustering pipeline is a
+	// self-join construction). Delta still enables repartitioning.
+	e.ctx.ResetMetrics()
+	var st *vj.Stats
+	if opts.Stats {
+		st = &vj.Stats{}
+	}
+	pairs, err := vj.JoinRS(e.ctx, r, s, vj.Options{
+		Theta:      opts.Theta,
+		Partitions: opts.Partitions,
+		Delta:      opts.Delta,
+		Stats:      st,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Pairs: pairs, Algorithm: opts.Algorithm, Engine: e.ctx.Snapshot()}
+	if st != nil {
+		snap := st.Snapshot()
+		res.Kernel = &snap
+	}
+	return res, nil
+}
+
+// JoinRS runs an R-S join on a fresh default engine; see Engine.JoinRS.
+func JoinRS(r, s []*Ranking, opts Options) (*Result, error) {
+	e := NewEngine(EngineConfig{})
+	defer e.Close()
+	return e.JoinRS(r, s, opts)
+}

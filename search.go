@@ -1,0 +1,52 @@
+package rankjoin
+
+import (
+	"rankjoin/internal/metricspace"
+	"rankjoin/internal/rankings"
+)
+
+// KendallTau computes Kendall's tau distance for top-k lists (Fagin et
+// al.'s p=0 adaptation) — a companion measure to Footrule. The join
+// algorithms use Footrule (a metric with known prefix bounds); tau is
+// exposed for applications that want to re-rank or inspect results.
+func KendallTau(a, b *Ranking) int { return rankings.KendallTau(a, b) }
+
+// Index is a metric range-search index over a ranking dataset: pivot
+// distances are precomputed so that range queries prune most of the
+// dataset with the triangle inequality before computing any real
+// distance (the "coarse index" idea from the authors' earlier work on
+// top-k-list similarity search).
+type Index struct {
+	idx *metricspace.PivotIndex
+	k   int
+}
+
+// BuildIndex indexes the dataset with the given number of pivots
+// (8–16 is a good range; more pivots prune better but cost more per
+// query).
+func BuildIndex(rs []*Ranking, numPivots int) (*Index, error) {
+	if err := checkUniform(rs); err != nil {
+		return nil, err
+	}
+	idx, err := metricspace.BuildPivotIndex(rs, numPivots, 1)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	if len(rs) > 0 {
+		k = rs[0].K()
+	}
+	return &Index{idx: idx, k: k}, nil
+}
+
+// Search returns every indexed ranking within normalized Footrule
+// distance theta of the query (excluding the query itself when it is
+// indexed, matched by id), as canonical pairs.
+func (x *Index) Search(q *Ranking, theta float64) []Pair {
+	if x.k == 0 {
+		return nil
+	}
+	hits, _ := x.idx.RangeSearch(q, rankings.Threshold(theta, x.k))
+	rankings.SortPairs(hits)
+	return hits
+}
