@@ -1,0 +1,290 @@
+// Command bench measures the engine and kernel hot paths and emits a
+// machine-readable JSON report, establishing the performance trajectory
+// of the repository (BENCH_<n>.json per perf PR).
+//
+// It covers the three costs every algorithm in the paper bottoms out
+// in:
+//
+//   - the Footrule verification kernel (flat merged-index path vs a
+//     map-index reference implementation, the pre-overhaul design);
+//   - the hash-partitioned shuffle of internal/flow (fused
+//     scatter+gather);
+//   - the final deduplication stage (map-side combining vs a naive
+//     shuffle-everything reference), reported in records moved across
+//     the exchange;
+//   - one macro join per algorithm family with the engine's stage
+//     timing snapshot.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_1.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"rankjoin"
+	"rankjoin/internal/flow"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/testutil"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Bench   int      `json:"bench"`
+	Go      string   `json:"go"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	n := flag.Int("n", 4000, "macro-join dataset size (rankings)")
+	k := flag.Int("k", 10, "ranking length for macro joins")
+	theta := flag.Float64("theta", 0.3, "join threshold for macro joins")
+	flag.Parse()
+
+	rep := report{Bench: 1, Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	add := func(r result) {
+		rep.Results = append(rep.Results, r)
+		fmt.Fprintf(os.Stderr, "%-40s %12.1f ns/op  %v\n", r.Name, r.NsPerOp, r.Metrics)
+	}
+
+	for _, kk := range []int{10, 25} {
+		add(kernelBench(fmt.Sprintf("footrule/flat/k=%d", kk), kk, footruleFlat))
+		add(kernelBench(fmt.Sprintf("footrule/mapref/k=%d", kk), kk, newMapRef()))
+		add(kernelBench(fmt.Sprintf("footrule_within/flat/k=%d", kk), kk, withinFlat))
+	}
+	add(shuffleBench())
+	naive, combined := dedupBench()
+	add(naive)
+	add(combined)
+	for _, algo := range []rankjoin.Algorithm{rankjoin.AlgVJ, rankjoin.AlgVJNL, rankjoin.AlgCL} {
+		add(joinBench(algo, *n, *k, *theta))
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
+
+// kernelPool draws a fixed pool of indexed ranking pairs over a domain
+// of 2k items — the overlap mix a posting-list partition hands the
+// verification kernel.
+func kernelPool(k int) (as, bs []*rankings.Ranking) {
+	rng := rand.New(rand.NewSource(42))
+	as = make([]*rankings.Ranking, 256)
+	bs = make([]*rankings.Ranking, 256)
+	for i := range as {
+		as[i] = testutil.RandRanking(rng, int64(i), k, 2*k)
+		bs[i] = testutil.RandRanking(rng, int64(1000+i), k, 2*k)
+	}
+	return as, bs
+}
+
+func kernelBench(name string, k int, kernel func(a, b *rankings.Ranking) int) result {
+	as, bs := kernelPool(k)
+	br := testing.Benchmark(func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			j := i & 255
+			sink += kernel(as[j], bs[j])
+		}
+		_ = sink
+	})
+	return result{Name: name, NsPerOp: float64(br.T.Nanoseconds()) / float64(br.N)}
+}
+
+func footruleFlat(a, b *rankings.Ranking) int { return rankings.Footrule(a, b) }
+
+func withinFlat(a, b *rankings.Ranking) int {
+	d, _ := rankings.FootruleWithin(a, b, rankings.Threshold(0.3, a.K()))
+	return d
+}
+
+// newMapRef reproduces the pre-overhaul kernel: per-ranking
+// map[Item]rank indexes probed once per item from both sides.
+func newMapRef() func(a, b *rankings.Ranking) int {
+	cache := make(map[*rankings.Ranking]map[rankings.Item]int32)
+	idx := func(r *rankings.Ranking) map[rankings.Item]int32 {
+		if m, ok := cache[r]; ok {
+			return m
+		}
+		m := make(map[rankings.Item]int32, len(r.Items))
+		for rank, it := range r.Items {
+			m[it] = int32(rank)
+		}
+		cache[r] = m
+		return m
+	}
+	return func(a, b *rankings.Ranking) int {
+		pa, pb := idx(a), idx(b)
+		k := len(a.Items)
+		d := 0
+		for rank, it := range a.Items {
+			if rb, ok := pb[it]; ok {
+				diff := rank - int(rb)
+				if diff < 0 {
+					diff = -diff
+				}
+				d += diff
+			} else {
+				d += k - rank
+			}
+		}
+		for rank, it := range b.Items {
+			if _, ok := pa[it]; !ok {
+				d += k - rank
+			}
+		}
+		return d
+	}
+}
+
+func shuffleBench() result {
+	kvs := make([]flow.KV[int64, int64], 1<<18)
+	for i := range kvs {
+		kvs[i] = flow.KV[int64, int64]{K: int64(i), V: int64(i)}
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := flow.NewContext(flow.Config{Workers: 4})
+			sh := flow.PartitionByKey(flow.Parallelize(ctx, kvs, 16), 16)
+			if _, err := sh.Count(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	nsPerOp := float64(br.T.Nanoseconds()) / float64(br.N)
+	return result{
+		Name:    "shuffle/partition_by_key/256k",
+		NsPerOp: nsPerOp,
+		Metrics: map[string]float64{"mb_per_s": float64(len(kvs)*16) / (nsPerOp / 1e9) / 1e6},
+	}
+}
+
+// dedupBench contrasts the final deduplication stage with and without
+// map-side combining on duplicate-heavy data (8 copies per value, the
+// shape prefix-filtering joins emit). The headline number is
+// shuffle_records: how many records cross the exchange.
+func dedupBench() (naive, combined result) {
+	type pairKey struct{ A, B int64 }
+	const n, dup, parts = 1 << 17, 8, 16
+	data := make([]pairKey, n)
+	for i := range data {
+		data[i] = pairKey{A: int64(i / dup), B: int64(i/dup + 1)}
+	}
+	// Naive reference: shuffle every record, dedup reduce-side only.
+	naiveDistinct := func(ctx *flow.Context) (int, error) {
+		keyed := flow.Map(flow.Parallelize(ctx, data, parts),
+			func(v pairKey) flow.KV[pairKey, struct{}] { return flow.KV[pairKey, struct{}]{K: v} })
+		sh := flow.PartitionByKey(keyed, parts)
+		ded := flow.MapPartitions(sh, func(_ int, in []flow.KV[pairKey, struct{}]) ([]pairKey, error) {
+			seen := make(map[pairKey]struct{}, len(in))
+			out := make([]pairKey, 0, len(in))
+			for _, kv := range in {
+				if _, dup := seen[kv.K]; dup {
+					continue
+				}
+				seen[kv.K] = struct{}{}
+				out = append(out, kv.K)
+			}
+			return out, nil
+		})
+		got, err := ded.Collect()
+		return len(got), err
+	}
+
+	var shuffled int64
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := flow.NewContext(flow.Config{Workers: 4})
+			got, err := naiveDistinct(ctx)
+			if err != nil || got != n/dup {
+				b.Fatalf("naive distinct = %d (%v)", got, err)
+			}
+			shuffled = ctx.Snapshot().ShuffleRecords
+		}
+	})
+	naive = result{
+		Name:    "dedup/naive_shuffle_all/1m_dup8",
+		NsPerOp: float64(br.T.Nanoseconds()) / float64(br.N),
+		Metrics: map[string]float64{"shuffle_records": float64(shuffled)},
+	}
+
+	br = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := flow.NewContext(flow.Config{Workers: 4})
+			got, err := flow.Distinct(flow.Parallelize(ctx, data, parts), parts).Collect()
+			if err != nil || len(got) != n/dup {
+				b.Fatalf("distinct = %d (%v)", len(got), err)
+			}
+			shuffled = ctx.Snapshot().ShuffleRecords
+		}
+	})
+	combined = result{
+		Name:    "dedup/map_side_combine/1m_dup8",
+		NsPerOp: float64(br.T.Nanoseconds()) / float64(br.N),
+		Metrics: map[string]float64{"shuffle_records": float64(shuffled)},
+	}
+	return naive, combined
+}
+
+func joinBench(algo rankjoin.Algorithm, n, k int, theta float64) result {
+	rng := rand.New(rand.NewSource(7))
+	rs := testutil.ClusteredDataset(rng, n/5, 4, k, 30*k)
+	var snap flow.MetricsSnapshot
+	var pairs int
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := rankjoin.Join(rs, rankjoin.Options{Algorithm: algo, Theta: theta})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pairs = len(res.Pairs)
+			snap = res.Engine
+		}
+	})
+	m := map[string]float64{
+		"pairs":            float64(pairs),
+		"shuffle_records":  float64(snap.ShuffleRecords),
+		"shuffle_time_ns":  float64(snap.ShuffleTime.Nanoseconds()),
+		"tasks":            float64(snap.Tasks),
+		"max_partition":    float64(snap.MaxPartitionRecords),
+		"rankings":         float64(len(rs)),
+	}
+	for name, d := range snap.Stages {
+		m["stage:"+name+"_ns"] = float64(d.Nanoseconds())
+	}
+	return result{
+		Name:    fmt.Sprintf("join/%s/theta=%.1f", algo, theta),
+		NsPerOp: float64(br.T.Nanoseconds()) / float64(br.N),
+		Metrics: m,
+	}
+}

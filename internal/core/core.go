@@ -129,6 +129,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	if err != nil {
 		return nil, err
 	}
+	ctx.ObserveStage("cl/ordering", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.OrderingTime = time.Since(phaseStart)
 	}
@@ -188,6 +189,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 			return &Centroid{R: dict.Value()[id], Singleton: true}
 		}),
 	)
+	ctx.ObserveStage("cl/clustering", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.ClusterPairs = nClusterPairs
 		if opts.Stats.Clusters, err = clusters.Count(); err != nil {
@@ -245,6 +247,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	if err != nil {
 		return nil, err
 	}
+	ctx.ObserveStage("cl/joining", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.CentroidPairs = nCPairs
 		opts.Stats.JoiningTime = time.Since(phaseStart)
@@ -268,6 +271,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 		return nil, err
 	}
 	rankings.SortPairs(out)
+	ctx.ObserveStage("cl/expansion", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.ExpansionTime = time.Since(phaseStart)
 		opts.Stats.Results = int64(len(out))

@@ -17,20 +17,10 @@ func MaxRankDiff(maxDist int) int { return maxDist / 2 }
 // PositionPrune reports whether the pair (a, b) can be discarded
 // because some shared item violates the rank-difference bound for
 // maxDist. A false result does NOT imply the pair is within maxDist —
-// it must still be verified.
+// it must still be verified. On indexed rankings this runs as one
+// merged pass over the flat position indexes.
 func PositionPrune(a, b *rankings.Ranking, maxDist int) bool {
-	for rank, it := range a.Items {
-		if rb, ok := b.Pos(it); ok {
-			diff := rank - int(rb)
-			if diff < 0 {
-				diff = -diff
-			}
-			if 2*diff > maxDist {
-				return true
-			}
-		}
-	}
-	return false
+	return rankings.SharedRankDiffExceeds(a, b, MaxRankDiff(maxDist))
 }
 
 // PositionPruneItem is the single-item form used while scanning posting

@@ -31,8 +31,10 @@ package flow
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Config sizes the engine. The zero value is usable: it runs with
@@ -101,7 +103,10 @@ func (c *Context) Close() error {
 }
 
 // parallelDo executes fn(0..n-1) on the executor pool and returns the
-// first error. Nested invocations (a shuffle materializing its parent
+// first error. Once any task fails, idle workers stop claiming new
+// task indices, so a failing partition short-circuits a wide stage
+// instead of running it to completion (tasks already in flight still
+// finish). Nested invocations (a shuffle materializing its parent
 // while the child stage is already running) each get their own bounded
 // goroutine set, so the engine never deadlocks on pool slots; only one
 // nesting level does real work at a time because sibling tasks block on
@@ -123,7 +128,7 @@ func (c *Context) parallelDo(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for err.Load() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -159,6 +164,15 @@ type Metrics struct {
 	// partition seen — the skew signal the repartitioning technique of
 	// §6 reacts to.
 	MaxPartitionRecords atomic.Int64
+	// ShuffleNanos accumulates wall-clock nanoseconds spent
+	// materializing shuffle exchanges (scatter plan, fused copy and
+	// spill), the engine's dominant fixed cost.
+	ShuffleNanos atomic.Int64
+
+	// stageNanos accumulates wall-clock per named pipeline stage,
+	// recorded by Context.ObserveStage.
+	stageMu    sync.Mutex
+	stageNanos map[string]int64
 }
 
 func (m *Metrics) observePartitionSize(n int64) {
@@ -170,6 +184,19 @@ func (m *Metrics) observePartitionSize(n int64) {
 	}
 }
 
+// ObserveStage adds wall-clock time under a named pipeline stage.
+// Pipelines use it to attribute engine time to their logical phases
+// (e.g. "cl/clustering"), surfaced through MetricsSnapshot.Stages.
+func (c *Context) ObserveStage(name string, d time.Duration) {
+	m := &c.metrics
+	m.stageMu.Lock()
+	if m.stageNanos == nil {
+		m.stageNanos = make(map[string]int64)
+	}
+	m.stageNanos[name] += int64(d)
+	m.stageMu.Unlock()
+}
+
 // MetricsSnapshot is a plain-value copy of Metrics.
 type MetricsSnapshot struct {
 	Tasks               int64
@@ -177,17 +204,33 @@ type MetricsSnapshot struct {
 	SpilledRecords      int64
 	BroadcastValues     int64
 	MaxPartitionRecords int64
+	// ShuffleTime is the wall-clock spent materializing shuffle
+	// exchanges.
+	ShuffleTime time.Duration
+	// Stages maps pipeline stage names to accumulated wall-clock time
+	// recorded via ObserveStage. Nil when no stage was observed.
+	Stages map[string]time.Duration
 }
 
 // Snapshot returns the current counter values.
 func (c *Context) Snapshot() MetricsSnapshot {
-	return MetricsSnapshot{
+	s := MetricsSnapshot{
 		Tasks:               c.metrics.Tasks.Load(),
 		ShuffleRecords:      c.metrics.ShuffleRecords.Load(),
 		SpilledRecords:      c.metrics.SpilledRecords.Load(),
 		BroadcastValues:     c.metrics.BroadcastValues.Load(),
 		MaxPartitionRecords: c.metrics.MaxPartitionRecords.Load(),
+		ShuffleTime:         time.Duration(c.metrics.ShuffleNanos.Load()),
 	}
+	c.metrics.stageMu.Lock()
+	if len(c.metrics.stageNanos) > 0 {
+		s.Stages = make(map[string]time.Duration, len(c.metrics.stageNanos))
+		for name, ns := range c.metrics.stageNanos {
+			s.Stages[name] = time.Duration(ns)
+		}
+	}
+	c.metrics.stageMu.Unlock()
+	return s
 }
 
 // ResetMetrics zeroes all counters.
@@ -197,9 +240,24 @@ func (c *Context) ResetMetrics() {
 	c.metrics.SpilledRecords.Store(0)
 	c.metrics.BroadcastValues.Store(0)
 	c.metrics.MaxPartitionRecords.Store(0)
+	c.metrics.ShuffleNanos.Store(0)
+	c.metrics.stageMu.Lock()
+	c.metrics.stageNanos = nil
+	c.metrics.stageMu.Unlock()
 }
 
 func (s MetricsSnapshot) String() string {
-	return fmt.Sprintf("tasks=%d shuffled=%d spilled=%d broadcasts=%d maxPartition=%d",
-		s.Tasks, s.ShuffleRecords, s.SpilledRecords, s.BroadcastValues, s.MaxPartitionRecords)
+	msg := fmt.Sprintf("tasks=%d shuffled=%d spilled=%d broadcasts=%d maxPartition=%d shuffleTime=%v",
+		s.Tasks, s.ShuffleRecords, s.SpilledRecords, s.BroadcastValues, s.MaxPartitionRecords, s.ShuffleTime)
+	if len(s.Stages) > 0 {
+		names := make([]string, 0, len(s.Stages))
+		for name := range s.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			msg += fmt.Sprintf(" %s=%v", name, s.Stages[name])
+		}
+	}
+	return msg
 }

@@ -3,6 +3,7 @@ package flow
 import (
 	"hash/maphash"
 	"sync"
+	"time"
 )
 
 // KV is a key-value record, the unit of all wide (shuffling)
@@ -31,49 +32,98 @@ type shuffleState[T any] struct {
 }
 
 // runShuffle evaluates all source partitions of d, routing each record
-// to its destination bucket by hash of the key. Oversized buckets are
+// to its destination bucket by hash of the key. Scatter and gather are
+// fused: a counting pass tags every record with its destination, the
+// destination buckets are then allocated at their exact final size, and
+// each source writes its records straight into a disjoint window of the
+// target bucket. Every record is copied exactly once and no
+// intermediate per-(source, destination) bucket matrix is retained —
+// roughly halving both the copies and the peak memory of the
+// two-barrier scatter-then-gather formulation. Oversized buckets are
 // spilled when the context has spilling enabled.
+//
+// Bucket contents are deterministic: records land in source-partition
+// order, each source's records in their original order.
 func runShuffle[K comparable, V any](d *Dataset[KV[K, V]], parts int, st *shuffleState[KV[K, V]]) {
 	ctx := d.ctx
-	perSrc := make([][][]KV[K, V], d.parts)
+	start := time.Now()
+	defer func() { ctx.metrics.ShuffleNanos.Add(int64(time.Since(start))) }()
+
+	// Pass 1 — scatter plan: materialize each source once, tag every
+	// record with its destination (so the hash is computed once) and
+	// count per-destination sizes. Records are not copied here.
+	ins := make([][]KV[K, V], d.parts)
+	tags := make([][]uint32, d.parts)
+	counts := make([][]int, d.parts)
 	st.err = ctx.parallelDo(d.parts, func(src int) error {
 		in, err := d.partition(src)
 		if err != nil {
 			return err
 		}
-		local := make([][]KV[K, V], parts)
-		for _, kv := range in {
+		tag := make([]uint32, len(in))
+		cnt := make([]int, parts)
+		for i, kv := range in {
 			dst := partitionOf(kv.K, parts)
-			local[dst] = append(local[dst], kv)
+			tag[i] = uint32(dst)
+			cnt[dst]++
 		}
 		ctx.metrics.ShuffleRecords.Add(int64(len(in)))
-		perSrc[src] = local
+		ins[src], tags[src], counts[src] = in, tag, cnt
 		return nil
 	})
 	if st.err != nil {
 		return
 	}
-	st.buckets = make([][]KV[K, V], parts)
-	st.spilled = make([]string, parts)
-	st.err = ctx.parallelDo(parts, func(dst int) error {
-		var n int
-		for _, local := range perSrc {
-			n += len(local[dst])
+
+	// Exact-size destination buckets, with a disjoint write window per
+	// (source, destination) so pass 2 needs no locks.
+	offsets := make([][]int, d.parts)
+	sizes := make([]int, parts)
+	for src := range counts {
+		off := make([]int, parts)
+		for dst, c := range counts[src] {
+			off[dst] = sizes[dst]
+			sizes[dst] += c
 		}
-		bucket := make([]KV[K, V], 0, n)
-		for _, local := range perSrc {
-			bucket = append(bucket, local[dst]...)
-		}
+		offsets[src] = off
+	}
+	buckets := make([][]KV[K, V], parts)
+	for dst, n := range sizes {
+		buckets[dst] = make([]KV[K, V], n)
 		ctx.metrics.observePartitionSize(int64(n))
-		if ctx.spill != nil && n > ctx.spill.threshold {
-			path, err := spillWrite(ctx.spill, bucket)
-			if err != nil {
-				return err
-			}
-			st.spilled[dst] = path
+	}
+
+	// Pass 2 — fused scatter+gather: each source writes its records
+	// into their final position, then releases its input.
+	st.err = ctx.parallelDo(d.parts, func(src int) error {
+		off := offsets[src]
+		tag := tags[src]
+		for i, kv := range ins[src] {
+			dst := tag[i]
+			buckets[dst][off[dst]] = kv
+			off[dst]++
+		}
+		ins[src], tags[src] = nil, nil
+		return nil
+	})
+	if st.err != nil {
+		return
+	}
+	st.buckets = buckets
+	st.spilled = make([]string, parts)
+	if ctx.spill == nil {
+		return
+	}
+	st.err = ctx.parallelDo(parts, func(dst int) error {
+		if sizes[dst] <= ctx.spill.threshold {
 			return nil
 		}
-		st.buckets[dst] = bucket
+		path, err := spillWrite(ctx.spill, buckets[dst])
+		if err != nil {
+			return err
+		}
+		st.spilled[dst] = path
+		buckets[dst] = nil // st.buckets aliases this; free the memory
 		return nil
 	})
 }
@@ -233,41 +283,61 @@ func Join[K comparable, V, W any](a *Dataset[KV[K, V]], b *Dataset[KV[K, W]], pa
 	})
 }
 
+// dedupFirstBy keeps the first element per key, preserving order — the
+// shared combiner of Distinct and DistinctBy.
+func dedupFirstBy[T any, K comparable](in []T, key func(T) K) []T {
+	seen := make(map[K]struct{}, len(in))
+	out := make([]T, 0, len(in))
+	for _, v := range in {
+		k := key(v)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
 // Distinct removes duplicate elements via a shuffle — the final
-// deduplication stage of every algorithm in the paper.
+// deduplication stage of every algorithm in the paper. Duplicates are
+// combined map-side (within each source partition, before the
+// exchange), so on duplicate-heavy result sets the shuffle moves only
+// one record per distinct value per source partition.
 func Distinct[T comparable](d *Dataset[T], parts int) *Dataset[T] {
-	keyed := Map(d, func(v T) KV[T, struct{}] { return KV[T, struct{}]{K: v} })
+	pre := MapPartitions(d, func(_ int, in []T) ([]T, error) {
+		return dedupFirstBy(in, func(v T) T { return v }), nil
+	})
+	keyed := Map(pre, func(v T) KV[T, struct{}] { return KV[T, struct{}]{K: v} })
 	sh := PartitionByKey(keyed, parts)
 	return MapPartitions(sh, func(_ int, in []KV[T, struct{}]) ([]T, error) {
-		seen := make(map[T]struct{}, len(in))
-		out := make([]T, 0, len(in))
-		for _, kv := range in {
-			if _, dup := seen[kv.K]; dup {
-				continue
-			}
-			seen[kv.K] = struct{}{}
-			out = append(out, kv.K)
+		out := dedupFirstBy(in, func(kv KV[T, struct{}]) T { return kv.K })
+		vals := make([]T, len(out))
+		for i, kv := range out {
+			vals[i] = kv.K
 		}
-		return out, nil
+		return vals, nil
 	})
 }
 
 // DistinctBy removes elements with duplicate keys, keeping the first
-// occurrence per partition after the shuffle.
+// occurrence (in source order) of each key. Like Distinct it combines
+// map-side before the exchange; because shuffle buckets preserve
+// source order, the surviving representative is the same one the
+// unfused shuffle kept.
 func DistinctBy[T any, K comparable](d *Dataset[T], parts int, key func(T) K) *Dataset[T] {
-	keyed := Map(d, func(v T) KV[K, T] { return KV[K, T]{K: key(v), V: v} })
+	pre := MapPartitions(d, func(_ int, in []T) ([]T, error) {
+		return dedupFirstBy(in, key), nil
+	})
+	keyed := Map(pre, func(v T) KV[K, T] { return KV[K, T]{K: key(v), V: v} })
 	sh := PartitionByKey(keyed, parts)
 	return MapPartitions(sh, func(_ int, in []KV[K, T]) ([]T, error) {
-		seen := make(map[K]struct{}, len(in))
-		out := make([]T, 0, len(in))
-		for _, kv := range in {
-			if _, dup := seen[kv.K]; dup {
-				continue
-			}
-			seen[kv.K] = struct{}{}
-			out = append(out, kv.V)
+		out := dedupFirstBy(in, func(kv KV[K, T]) K { return kv.K })
+		vals := make([]T, len(out))
+		for i, kv := range out {
+			vals[i] = kv.V
 		}
-		return out, nil
+		return vals, nil
 	})
 }
 

@@ -1,0 +1,62 @@
+package flow_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rankjoin/internal/flow"
+)
+
+// TestFailingPartitionShortCircuitsWideStage: once one partition of a
+// wide stage fails, idle workers must stop claiming new task indices
+// instead of running the stage to completion.
+func TestFailingPartitionShortCircuitsWideStage(t *testing.T) {
+	const parts = 64
+	ctx := flow.NewContext(flow.Config{Workers: 2})
+	boom := errors.New("boom")
+	d := flow.Parallelize(ctx, ints(parts), parts)
+	bad := flow.MapPartitions(d, func(p int, in []int) ([]int, error) {
+		if p == 0 {
+			return nil, boom
+		}
+		// Give the failing task time to publish its error before the
+		// next claim.
+		time.Sleep(2 * time.Millisecond)
+		return in, nil
+	})
+	if _, err := bad.Collect(); !errors.Is(err, boom) {
+		t.Fatalf("collect err = %v, want boom", err)
+	}
+	// Workers may finish tasks already claimed when the error lands,
+	// but must not walk the remaining ~60 partitions.
+	if tasks := ctx.Snapshot().Tasks; tasks >= parts {
+		t.Errorf("ran %d tasks of a failed %d-partition stage, want a short-circuit", tasks, parts)
+	}
+}
+
+// TestShortCircuitThroughShuffle: the same property through a shuffle
+// boundary — a failing source partition aborts the scatter pass early.
+func TestShortCircuitThroughShuffle(t *testing.T) {
+	const parts = 64
+	ctx := flow.NewContext(flow.Config{Workers: 2})
+	boom := errors.New("scatter failed")
+	d := flow.Parallelize(ctx, ints(parts), parts)
+	keyed := flow.MapPartitions(d, func(p int, in []int) ([]flow.KV[int, int], error) {
+		if p == 0 {
+			return nil, boom
+		}
+		time.Sleep(2 * time.Millisecond)
+		out := make([]flow.KV[int, int], len(in))
+		for i, v := range in {
+			out[i] = flow.KV[int, int]{K: v % 7, V: v}
+		}
+		return out, nil
+	})
+	if _, err := flow.GroupByKey(keyed, 8).Collect(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if tasks := ctx.Snapshot().Tasks; tasks >= parts {
+		t.Errorf("ran %d tasks, want short-circuit well below %d", tasks, parts)
+	}
+}

@@ -1,0 +1,71 @@
+package flow_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/flow"
+)
+
+// shuffleData builds n records spread over keys with the given
+// duplication factor (dup records per distinct value).
+func shuffleData(n, dup int) []flow.KV[int64, int64] {
+	kvs := make([]flow.KV[int64, int64], n)
+	for i := range kvs {
+		kvs[i] = flow.KV[int64, int64]{K: int64(i / dup), V: int64(i)}
+	}
+	return kvs
+}
+
+// BenchmarkPartitionByKey measures the raw hash-partitioned exchange —
+// the substrate cost under every wide transformation.
+func BenchmarkPartitionByKey(b *testing.B) {
+	kvs := shuffleData(1<<18, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := flow.NewContext(flow.Config{Workers: 4})
+		sh := flow.PartitionByKey(flow.Parallelize(ctx, kvs, 16), 16)
+		if _, err := sh.Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(kvs) * 16))
+}
+
+// BenchmarkGroupByKey measures a full shuffle plus gather.
+func BenchmarkGroupByKey(b *testing.B) {
+	kvs := shuffleData(1<<17, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := flow.NewContext(flow.Config{Workers: 4})
+		if _, err := flow.GroupByKey(flow.Parallelize(ctx, kvs, 16), 16).Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistinctDupHeavy measures the deduplication stage on
+// duplicate-heavy data — the shape of every algorithm's final
+// "remove duplicates" phase — and reports the records crossing the
+// exchange per operation (the counter map-side combining shrinks).
+func BenchmarkDistinctDupHeavy(b *testing.B) {
+	type pairKey struct{ A, B int64 }
+	n, dup := 1<<17, 8
+	data := make([]pairKey, n)
+	for i := range data {
+		data[i] = pairKey{A: int64(i / dup), B: int64(i/dup + 1)}
+	}
+	var shuffled int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := flow.NewContext(flow.Config{Workers: 4})
+		got, err := flow.Distinct(flow.Parallelize(ctx, data, 16), 16).Collect()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != n/dup {
+			b.Fatalf("distinct = %d, want %d", len(got), n/dup)
+		}
+		shuffled = ctx.Snapshot().ShuffleRecords
+	}
+	b.ReportMetric(float64(shuffled), "shuffled/op")
+}

@@ -1,0 +1,183 @@
+package flow_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rankjoin/internal/flow"
+)
+
+// The fused shuffle's spill path: every wide transformation must
+// produce identical results whether its buckets stay in memory or
+// round-trip through disk. SpillThreshold 1 forces every non-empty
+// bucket to spill.
+
+func spillPair(t *testing.T) (plain, spilling *flow.Context) {
+	t.Helper()
+	plain = flow.NewContext(flow.Config{Workers: 4})
+	spilling = flow.NewContext(flow.Config{Workers: 4, SpillDir: t.TempDir(), SpillThreshold: 1})
+	return plain, spilling
+}
+
+func requireSpilled(t *testing.T, ctx *flow.Context) {
+	t.Helper()
+	if snap := ctx.Snapshot(); snap.SpilledRecords == 0 {
+		t.Fatal("expected spilled records with threshold 1")
+	}
+	if err := ctx.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillGroupByKeyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var kvs []flow.KV[int, int]
+	for i := 0; i < 2000; i++ {
+		kvs = append(kvs, flow.KV[int, int]{K: rng.Intn(31), V: i})
+	}
+	run := func(ctx *flow.Context) string {
+		g, err := flow.GroupByKey(flow.Parallelize(ctx, kvs, 7), 5).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]string, len(g))
+		for i, kv := range g {
+			rows[i] = fmt.Sprintf("%d=%v", kv.K, kv.V)
+		}
+		return fmt.Sprint(sorted(rows))
+	}
+	plain, spilling := spillPair(t)
+	want, got := run(plain), run(spilling)
+	requireSpilled(t, spilling)
+	if want != got {
+		t.Error("GroupByKey differs between in-memory and spilled buckets")
+	}
+}
+
+func TestSpillCoGroupEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var left []flow.KV[int, int]
+	var right []flow.KV[int, string]
+	for i := 0; i < 1500; i++ {
+		left = append(left, flow.KV[int, int]{K: rng.Intn(23), V: i})
+		right = append(right, flow.KV[int, string]{K: rng.Intn(29), V: fmt.Sprintf("r%d", i)})
+	}
+	run := func(ctx *flow.Context) string {
+		cg, err := flow.CoGroup(
+			flow.Parallelize(ctx, left, 6),
+			flow.Parallelize(ctx, right, 4), 5).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]string, len(cg))
+		for i, kv := range cg {
+			rows[i] = fmt.Sprintf("%d=%v|%v", kv.K, kv.V.Left, kv.V.Right)
+		}
+		return fmt.Sprint(sorted(rows))
+	}
+	plain, spilling := spillPair(t)
+	want, got := run(plain), run(spilling)
+	requireSpilled(t, spilling)
+	if want != got {
+		t.Error("CoGroup differs between in-memory and spilled buckets")
+	}
+}
+
+func TestSpillDistinctEquivalence(t *testing.T) {
+	var data []int
+	for i := 0; i < 3000; i++ {
+		data = append(data, i%97)
+	}
+	run := func(ctx *flow.Context) string {
+		got, err := flow.Distinct(flow.Parallelize(ctx, data, 9), 6).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(sorted(got))
+	}
+	plain, spilling := spillPair(t)
+	want, got := run(plain), run(spilling)
+	requireSpilled(t, spilling)
+	if want != got {
+		t.Error("Distinct differs between in-memory and spilled buckets")
+	}
+}
+
+func TestSpillDistinctByEquivalence(t *testing.T) {
+	type rec struct {
+		ID   int
+		Note string
+	}
+	var data []rec
+	for i := 0; i < 2000; i++ {
+		data = append(data, rec{ID: i % 53, Note: fmt.Sprintf("n%d", i)})
+	}
+	run := func(ctx *flow.Context) string {
+		got, err := flow.DistinctBy(flow.Parallelize(ctx, data, 8), 5,
+			func(r rec) int { return r.ID }).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]string, len(got))
+		for i, r := range got {
+			rows[i] = fmt.Sprintf("%d:%s", r.ID, r.Note)
+		}
+		return fmt.Sprint(sorted(rows))
+	}
+	plain, spilling := spillPair(t)
+	want, got := run(plain), run(spilling)
+	requireSpilled(t, spilling)
+	if want != got {
+		t.Error("DistinctBy differs between in-memory and spilled buckets; the surviving representative must match")
+	}
+}
+
+// TestMapSideDedupShrinksShuffle: Distinct over duplicate-heavy data
+// must move only one record per (source partition, distinct value)
+// across the exchange.
+func TestMapSideDedupShrinksShuffle(t *testing.T) {
+	const n, distinct, parts = 4000, 40, 8
+	data := make([]int, n)
+	for i := range data {
+		data[i] = i % distinct
+	}
+	ctx := flow.NewContext(flow.Config{Workers: 4})
+	got, err := flow.Distinct(flow.Parallelize(ctx, data, parts), parts).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != distinct {
+		t.Fatalf("distinct = %d, want %d", len(got), distinct)
+	}
+	// Upper bound: every source partition contributes each value once.
+	if snap := ctx.Snapshot(); snap.ShuffleRecords > distinct*parts {
+		t.Errorf("shuffled %d records, want ≤ %d (map-side combining)", snap.ShuffleRecords, distinct*parts)
+	}
+}
+
+// TestStageTimingMetrics: shuffle wall-clock and named stages surface
+// in the snapshot and reset cleanly.
+func TestStageTimingMetrics(t *testing.T) {
+	ctx := flow.NewContext(flow.Config{Workers: 2})
+	kvs := make([]flow.KV[int, int], 10000)
+	for i := range kvs {
+		kvs[i] = flow.KV[int, int]{K: i % 100, V: i}
+	}
+	if _, err := flow.GroupByKey(flow.Parallelize(ctx, kvs, 4), 4).Count(); err != nil {
+		t.Fatal(err)
+	}
+	ctx.ObserveStage("verify", 3*1e6)
+	ctx.ObserveStage("verify", 2*1e6)
+	snap := ctx.Snapshot()
+	if snap.ShuffleTime <= 0 {
+		t.Error("shuffle time not recorded")
+	}
+	if snap.Stages["verify"] != 5*1e6 {
+		t.Errorf("stage time = %v, want 5ms", snap.Stages["verify"])
+	}
+	ctx.ResetMetrics()
+	if s := ctx.Snapshot(); s.ShuffleTime != 0 || len(s.Stages) != 0 {
+		t.Errorf("reset left timing state: %+v", s)
+	}
+}

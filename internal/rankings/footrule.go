@@ -1,5 +1,7 @@
 package rankings
 
+import "math"
+
 // This file implements the top-k adaptation of Spearman's Footrule
 // distance from Fagin, Kumar and Sivakumar, "Comparing Top k Lists"
 // (SIAM J. Discrete Math. 2003), as used throughout the paper:
@@ -20,10 +22,15 @@ func MaxFootrule(k int) int { return k * (k + 1) }
 // and b. Both rankings must have the same length k; the artificial rank
 // for missing items is l = k.
 //
-// The computation is O(k) given position indexes (see Ranking.Index);
-// without them it degrades to O(k²) scans, which is still fast for the
-// small k (10–25) the paper considers.
+// When both rankings carry their flat position index (see
+// Ranking.Index) the distance is computed in one merged pass over the
+// two sorted (item, rank) arrays — no per-item lookups at all. Without
+// indexes it degrades to O(k²) scans, which is still fast for the small
+// k (10–25) the paper considers.
 func Footrule(a, b *Ranking) int {
+	if a.idxItems != nil && b.idxItems != nil {
+		return footruleMerged(a, b)
+	}
 	k := len(a.Items)
 	d := 0
 	for rank, it := range a.Items {
@@ -41,6 +48,38 @@ func Footrule(a, b *Ranking) int {
 	return d
 }
 
+// footruleMerged walks the two flat indexes like a sorted-list merge:
+// shared items contribute their rank difference, unmatched items the
+// missing-item penalty k − rank. One pass, no probes.
+func footruleMerged(a, b *Ranking) int {
+	k := len(a.Items)
+	ai, ar := a.idxItems, a.idxRanks
+	bi, br := b.idxItems, b.idxRanks
+	d := 0
+	i, j := 0, 0
+	for i < len(ai) && j < len(bi) {
+		switch {
+		case ai[i] == bi[j]:
+			d += abs(int(ar[i]) - int(br[j]))
+			i++
+			j++
+		case ai[i] < bi[j]:
+			d += k - int(ar[i])
+			i++
+		default:
+			d += k - int(br[j])
+			j++
+		}
+	}
+	for ; i < len(ai); i++ {
+		d += k - int(ar[i])
+	}
+	for ; j < len(bi); j++ {
+		d += k - int(br[j])
+	}
+	return d
+}
+
 // FootruleNorm computes the Footrule distance normalized to [0, 1] by
 // the maximum distance k(k+1).
 func FootruleNorm(a, b *Ranking) float64 {
@@ -51,15 +90,34 @@ func FootruleNorm(a, b *Ranking) float64 {
 // largest unnormalized Footrule distance that still satisfies it:
 // ⌊θ·k·(k+1)⌋. A pair (a,b) satisfies the normalized threshold iff
 // Footrule(a,b) ≤ Threshold(θ,k).
+//
+// The floor is epsilon-guarded: when θ·k(k+1) is mathematically an
+// exact integer, floating-point rounding can land a hair below it
+// (θ = 7/110 · 110 evaluates to 6.999…), and a naive truncation would
+// silently drop every boundary-distance pair from the result set.
 func Threshold(theta float64, k int) int {
-	return int(theta * float64(MaxFootrule(k)))
+	v := theta * float64(MaxFootrule(k))
+	f := math.Floor(v)
+	if v-f > 1-thresholdEps {
+		f++
+	}
+	return int(f)
 }
+
+// thresholdEps bounds the accumulated rounding error of θ·k(k+1) for
+// the k the paper considers (products up to ~10⁶ keep the true error
+// below 10⁻⁹ in double precision).
+const thresholdEps = 1e-9
 
 // FootruleWithin reports whether Footrule(a,b) ≤ maxDist, terminating
 // early once the running sum exceeds the bound. On datasets where most
 // pairs are distant this verifies candidates substantially faster than
-// computing the full distance.
+// computing the full distance. Like Footrule it runs as a merged
+// single pass when both rankings are indexed.
 func FootruleWithin(a, b *Ranking, maxDist int) (int, bool) {
+	if a.idxItems != nil && b.idxItems != nil {
+		return footruleWithinMerged(a, b, maxDist)
+	}
 	k := len(a.Items)
 	d := 0
 	for rank, it := range a.Items {
@@ -81,6 +139,80 @@ func FootruleWithin(a, b *Ranking, maxDist int) (int, bool) {
 		}
 	}
 	return d, true
+}
+
+// footruleWithinMerged is footruleMerged with the early-termination
+// bound checked after every contribution.
+func footruleWithinMerged(a, b *Ranking, maxDist int) (int, bool) {
+	k := len(a.Items)
+	ai, ar := a.idxItems, a.idxRanks
+	bi, br := b.idxItems, b.idxRanks
+	d := 0
+	i, j := 0, 0
+	for i < len(ai) && j < len(bi) {
+		switch {
+		case ai[i] == bi[j]:
+			d += abs(int(ar[i]) - int(br[j]))
+			i++
+			j++
+		case ai[i] < bi[j]:
+			d += k - int(ar[i])
+			i++
+		default:
+			d += k - int(br[j])
+			j++
+		}
+		if d > maxDist {
+			return d, false
+		}
+	}
+	for ; i < len(ai); i++ {
+		d += k - int(ar[i])
+		if d > maxDist {
+			return d, false
+		}
+	}
+	for ; j < len(bi); j++ {
+		d += k - int(br[j])
+		if d > maxDist {
+			return d, false
+		}
+	}
+	return d, true
+}
+
+// SharedRankDiffExceeds reports whether some item contained in both
+// rankings sits at ranks differing by strictly more than bound — the
+// core test of the position filter. When both rankings carry their
+// flat index the scan is one merged pass; otherwise it probes b per
+// item of a.
+func SharedRankDiffExceeds(a, b *Ranking, bound int) bool {
+	if a.idxItems != nil && b.idxItems != nil {
+		ai, ar := a.idxItems, a.idxRanks
+		bi, br := b.idxItems, b.idxRanks
+		i, j := 0, 0
+		for i < len(ai) && j < len(bi) {
+			switch {
+			case ai[i] == bi[j]:
+				if abs(int(ar[i])-int(br[j])) > bound {
+					return true
+				}
+				i++
+				j++
+			case ai[i] < bi[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		return false
+	}
+	for rank, it := range a.Items {
+		if rb, ok := b.Pos(it); ok && abs(rank-int(rb)) > bound {
+			return true
+		}
+	}
+	return false
 }
 
 // KendallTau computes Kendall's tau distance with the p = 0 "optimistic"

@@ -1,0 +1,77 @@
+package rankings_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/testutil"
+)
+
+// benchPairs draws a deterministic pool of indexed ranking pairs over a
+// domain of 2k items — roughly the overlap mix a posting-list partition
+// hands the verification kernel.
+func benchPairs(k int) (as, bs []*rankings.Ranking) {
+	rng := rand.New(rand.NewSource(42))
+	as = make([]*rankings.Ranking, 256)
+	bs = make([]*rankings.Ranking, 256)
+	for i := range as {
+		as[i] = testutil.RandRanking(rng, int64(i), k, 2*k)
+		bs[i] = testutil.RandRanking(rng, int64(1000+i), k, 2*k)
+	}
+	return as, bs
+}
+
+// BenchmarkFootrule measures the full-distance kernel — the cost paid
+// once per verified candidate pair in every join algorithm.
+func BenchmarkFootrule(b *testing.B) {
+	for _, k := range []int{10, 25} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			as, bs := benchPairs(k)
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				j := i & 255
+				sink += rankings.Footrule(as[j], bs[j])
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkFootruleWithin measures the early-terminating verifier at a
+// representative θ=0.3 bound (most pairs exceed it and bail out early).
+func BenchmarkFootruleWithin(b *testing.B) {
+	for _, k := range []int{10, 25} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			as, bs := benchPairs(k)
+			bound := rankings.Threshold(0.3, k)
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				j := i & 255
+				d, _ := rankings.FootruleWithin(as[j], bs[j], bound)
+				sink += d
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkPos measures the raw position lookup backing both kernels.
+func BenchmarkPos(b *testing.B) {
+	for _, k := range []int{10, 25} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			as, _ := benchPairs(k)
+			b.ResetTimer()
+			var sink int32
+			for i := 0; i < b.N; i++ {
+				r := as[i&255]
+				p, _ := r.Pos(r.Items[i%k])
+				sink += p
+			}
+			_ = sink
+		})
+	}
+}

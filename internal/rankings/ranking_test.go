@@ -47,6 +47,49 @@ func TestPosWithAndWithoutIndex(t *testing.T) {
 	check()
 }
 
+// TestFlatIndexAgreesWithScan: on random rankings the flat-index Pos
+// path, the merged Footrule kernels and Domain all agree with the
+// unindexed scan paths.
+func TestFlatIndexAgreesWithScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(25)
+		dom := k + rng.Intn(3*k)
+		a := testutil.RandRanking(rng, 0, k, dom) // indexed
+		b := testutil.RandRanking(rng, 1, k, dom) // indexed
+		ua := rankings.MustNew(2, a.Items)        // scan path
+		ub := rankings.MustNew(3, b.Items)
+		if !a.Indexed() || ua.Indexed() {
+			t.Fatal("Indexed() flag wrong")
+		}
+		for it := rankings.Item(0); it < rankings.Item(dom); it++ {
+			gp, gok := a.Pos(it)
+			wp, wok := ua.Pos(it)
+			if gp != wp || gok != wok {
+				t.Fatalf("Pos(%d): indexed %d,%v scan %d,%v (items %v)", it, gp, gok, wp, wok, a.Items)
+			}
+		}
+		if got, want := rankings.Footrule(a, b), rankings.Footrule(ua, ub); got != want {
+			t.Fatalf("merged footrule %d, scan %d (a=%v b=%v)", got, want, a, b)
+		}
+		bound := rng.Intn(rankings.MaxFootrule(k) + 1)
+		gd, gok := rankings.FootruleWithin(a, b, bound)
+		_, wok := rankings.FootruleWithin(ua, ub, bound)
+		if gok != wok {
+			t.Fatalf("merged within(%d) ok=%v, scan ok=%v", bound, gok, wok)
+		}
+		if gok && gd != rankings.Footrule(ua, ub) {
+			t.Fatalf("merged within dist %d, want %d", gd, rankings.Footrule(ua, ub))
+		}
+		ga, wa := a.Domain(), ua.Domain()
+		for i := range ga {
+			if ga[i] != wa[i] {
+				t.Fatalf("domain mismatch: %v vs %v", ga, wa)
+			}
+		}
+	}
+}
+
 func TestOverlapAndDomain(t *testing.T) {
 	a := rankings.MustNew(0, []rankings.Item{5, 3, 1})
 	b := rankings.MustNew(1, []rankings.Item{1, 2, 5})

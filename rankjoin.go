@@ -34,6 +34,7 @@ package rankjoin
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"rankjoin/internal/clusterjoin"
 	"rankjoin/internal/core"
@@ -232,6 +233,7 @@ func (e *Engine) Join(rs []*Ranking, opts Options) (*Result, error) {
 	}
 	e.ctx.ResetMetrics()
 	res := &Result{Algorithm: opts.Algorithm}
+	start := time.Now()
 	var pairs []Pair
 	var err error
 	switch opts.Algorithm {
@@ -317,7 +319,10 @@ func (e *Engine) Join(rs []*Ranking, opts Options) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("rankjoin: unknown algorithm %v", opts.Algorithm)
 	}
+	e.ctx.ObserveStage("join/"+opts.Algorithm.String(), time.Since(start))
+	dedupStart := time.Now()
 	res.Pairs = rankings.DedupPairs(pairs)
+	e.ctx.ObserveStage("join/dedup", time.Since(dedupStart))
 	res.Engine = e.ctx.Snapshot()
 	return res, nil
 }
