@@ -13,11 +13,23 @@
 //     shuffle-everything reference), reported in records moved across
 //     the exchange;
 //   - one macro join per algorithm family with the engine's stage
-//     timing snapshot.
+//     timing snapshot, filter-effectiveness counters, and skew
+//     histogram summaries (Bench 2).
+//
+// Observability flags (Bench 2):
+//
+//   - -trace-out FILE runs one traced CL-P macro join, exports the
+//     span forest as Chrome trace-event JSON (load in Perfetto or
+//     chrome://tracing), and fails unless the trace parses and
+//     contains all four CL phase spans plus per-partition tasks;
+//   - -guard benchmarks the macro join with tracing detached vs
+//     attached (min of -guard-rounds) and fails when the attached run
+//     exceeds the detached one by more than 2%;
+//   - -debug-addr ADDR serves expvar + pprof for the duration.
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_1.json
+//	go run ./cmd/bench -out BENCH_2.json -trace-out trace.json -guard
 package main
 
 import (
@@ -28,9 +40,11 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"rankjoin"
 	"rankjoin/internal/flow"
+	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
 	"rankjoin/internal/testutil"
 )
@@ -54,9 +68,22 @@ func main() {
 	n := flag.Int("n", 4000, "macro-join dataset size (rankings)")
 	k := flag.Int("k", 10, "ranking length for macro joins")
 	theta := flag.Float64("theta", 0.3, "join threshold for macro joins")
+	traceOut := flag.String("trace-out", "", "run a traced CL-P macro join and write Chrome trace JSON here")
+	guard := flag.Bool("guard", false, "fail if attaching a tracer slows the macro join by >2%")
+	guardRounds := flag.Int("guard-rounds", 5, "rounds per mode for the -guard comparison (min wins)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address for the duration")
 	flag.Parse()
 
-	rep := report{Bench: 1, Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "bench: debug listener on http://%s/debug/vars\n", dbg.Addr())
+	}
+
+	rep := report{Bench: 2, Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	add := func(r result) {
 		rep.Results = append(rep.Results, r)
 		fmt.Fprintf(os.Stderr, "%-40s %12.1f ns/op  %v\n", r.Name, r.NsPerOp, r.Metrics)
@@ -71,8 +98,25 @@ func main() {
 	naive, combined := dedupBench()
 	add(naive)
 	add(combined)
-	for _, algo := range []rankjoin.Algorithm{rankjoin.AlgVJ, rankjoin.AlgVJNL, rankjoin.AlgCL} {
-		add(joinBench(algo, *n, *k, *theta))
+
+	rs := macroDataset(*n, *k)
+	algos := []rankjoin.Algorithm{rankjoin.AlgVJ, rankjoin.AlgVJNL, rankjoin.AlgCL, rankjoin.AlgCLP}
+	for _, algo := range algos {
+		add(joinBench(algo, rs, *theta))
+	}
+	if *traceOut != "" {
+		r, err := tracedJoin(*traceOut, rs, *theta)
+		if err != nil {
+			fatal(err)
+		}
+		add(r)
+	}
+	if *guard {
+		r, err := overheadGuard(rs, *theta, *guardRounds)
+		if err != nil {
+			fatal(err)
+		}
+		add(r)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -256,35 +300,230 @@ func dedupBench() (naive, combined result) {
 	return naive, combined
 }
 
-func joinBench(algo rankjoin.Algorithm, n, k int, theta float64) result {
+// macroDataset is the shared macro-join workload: clustered so CL has
+// structure to exploit, seeded so BENCH reports compare across PRs.
+func macroDataset(n, k int) []*rankings.Ranking {
 	rng := rand.New(rand.NewSource(7))
-	rs := testutil.ClusteredDataset(rng, n/5, 4, k, 30*k)
+	return testutil.ClusteredDataset(rng, n/5, 4, k, 30*k)
+}
+
+// clpThetaC is the clustering threshold used for the CL-P macro join
+// and the traced run. The paper's default 0.03 produces near-singleton
+// clusters on this workload, leaving the expansion phase (and its
+// triangle-inequality filter) idle; 0.15 yields real clusters so the
+// report captures every stage of the filter cascade. CL keeps the
+// default for comparability with earlier BENCH reports.
+const clpThetaC = 0.15
+
+func joinOpts(algo rankjoin.Algorithm, theta float64) rankjoin.Options {
+	opts := rankjoin.Options{Algorithm: algo, Theta: theta}
+	if algo == rankjoin.AlgCLP {
+		opts.ThetaC = clpThetaC
+	}
+	return opts
+}
+
+func joinBench(algo rankjoin.Algorithm, rs []*rankings.Ranking, theta float64) result {
 	var snap flow.MetricsSnapshot
+	var filters rankjoin.FilterStats
 	var pairs int
 	br := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := rankjoin.Join(rs, rankjoin.Options{Algorithm: algo, Theta: theta})
+			res, err := rankjoin.Join(rs, joinOpts(algo, theta))
 			if err != nil {
 				b.Fatal(err)
 			}
 			pairs = len(res.Pairs)
 			snap = res.Engine
+			filters = res.Filters
 		}
 	})
 	m := map[string]float64{
-		"pairs":            float64(pairs),
-		"shuffle_records":  float64(snap.ShuffleRecords),
-		"shuffle_time_ns":  float64(snap.ShuffleTime.Nanoseconds()),
-		"tasks":            float64(snap.Tasks),
-		"max_partition":    float64(snap.MaxPartitionRecords),
-		"rankings":         float64(len(rs)),
+		"pairs":           float64(pairs),
+		"shuffle_records": float64(snap.ShuffleRecords),
+		"shuffle_time_ns": float64(snap.ShuffleTime.Nanoseconds()),
+		"tasks":           float64(snap.Tasks),
+		"max_partition":   float64(snap.MaxPartitionRecords),
+		"rankings":        float64(len(rs)),
 	}
 	for name, d := range snap.Stages {
 		m["stage:"+name+"_ns"] = float64(d.Nanoseconds())
+	}
+	addFilterMetrics(m, filters)
+	for name, h := range snap.Histograms {
+		m["hist:"+name+"_p50"] = float64(h.Quantile(0.50))
+		m["hist:"+name+"_p95"] = float64(h.Quantile(0.95))
+		m["hist:"+name+"_max"] = float64(h.Max)
 	}
 	return result{
 		Name:    fmt.Sprintf("join/%s/theta=%.1f", algo, theta),
 		NsPerOp: float64(br.T.Nanoseconds()) / float64(br.N),
 		Metrics: m,
 	}
+}
+
+func addFilterMetrics(m map[string]float64, f rankjoin.FilterStats) {
+	m["filters_generated"] = float64(f.Generated)
+	m["filters_pruned_prefix"] = float64(f.PrunedPrefix)
+	m["filters_pruned_position"] = float64(f.PrunedPosition)
+	m["filters_pruned_triangle"] = float64(f.PrunedTriangle)
+	m["filters_accepted_unverified"] = float64(f.AcceptedUnverified)
+	m["filters_verified"] = float64(f.Verified)
+	m["filters_emitted"] = float64(f.Emitted)
+	conserved := 0.0
+	if f.Conserved() {
+		conserved = 1
+	}
+	m["filters_conserved"] = conserved
+}
+
+// tracedJoin runs one CL-P macro join with a tracer attached, writes
+// the Chrome trace to path, and validates it: the span forest must be
+// well-formed, the exported JSON must parse, and it must contain all
+// four CL phase spans plus per-partition task events.
+func tracedJoin(path string, rs []*rankings.Ranking, theta float64) (result, error) {
+	e := rankjoin.NewEngine(rankjoin.EngineConfig{})
+	defer e.Close()
+	tr := rankjoin.NewTracer()
+	e.SetTracer(tr)
+	start := time.Now()
+	res, err := e.Join(rs, joinOpts(rankjoin.AlgCLP, theta))
+	if err != nil {
+		return result{}, err
+	}
+	wall := time.Since(start)
+	if err := tr.Validate(); err != nil {
+		return result{}, fmt.Errorf("trace ill-formed: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return result{}, err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return result{}, err
+	}
+	if err := f.Close(); err != nil {
+		return result{}, err
+	}
+	events, tasks, err := checkTrace(path)
+	if err != nil {
+		return result{}, err
+	}
+	m := map[string]float64{
+		"pairs":        float64(len(res.Pairs)),
+		"trace_events": float64(events),
+		"trace_tasks":  float64(tasks),
+	}
+	addFilterMetrics(m, res.Filters)
+	return result{
+		Name:    fmt.Sprintf("trace/CL-P/theta=%.1f", theta),
+		NsPerOp: float64(wall.Nanoseconds()),
+		Metrics: m,
+	}, nil
+}
+
+// checkTrace re-reads the exported file the way Perfetto would: parse
+// the JSON, then require the four CL phase scopes and at least one
+// per-partition task event. Returns total event and task-event counts.
+func checkTrace(path string) (events, tasks int, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return 0, 0, fmt.Errorf("trace JSON unparseable: %w", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		events++
+		names[ev.Name] = true
+		if ev.Cat == "task" {
+			tasks++
+		}
+	}
+	for _, phase := range []string{"cl/ordering", "cl/clustering", "cl/joining", "cl/expansion"} {
+		if !names[phase] {
+			return 0, 0, fmt.Errorf("trace missing phase span %q", phase)
+		}
+	}
+	if tasks == 0 {
+		return 0, 0, fmt.Errorf("trace has no per-partition task events")
+	}
+	return events, tasks, nil
+}
+
+// overheadGuard measures the macro join with the tracer detached (the
+// default: every instrumentation site reduces to a nil check) and
+// attached, min wall time of `rounds` each, and fails when attaching
+// costs more than 2% plus a small absolute slack that keeps short CI
+// smoke runs out of timer-noise territory. The detached numbers are
+// the ones comparable against the pre-instrumentation BENCH_1.json
+// joins — that comparison is committed alongside BENCH_2.json.
+func overheadGuard(rs []*rankings.Ranking, theta float64, rounds int) (result, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	run := func(traced bool) (time.Duration, error) {
+		e := rankjoin.NewEngine(rankjoin.EngineConfig{})
+		defer e.Close()
+		if traced {
+			e.SetTracer(rankjoin.NewTracer())
+		}
+		start := time.Now()
+		_, err := e.Join(rs, rankjoin.Options{Algorithm: rankjoin.AlgCL, Theta: theta})
+		return time.Since(start), err
+	}
+	// Warm both modes once so neither pays first-run page faults and
+	// allocator growth in its measured rounds, then alternate modes
+	// within each round so machine drift (GC pressure, thermal, noisy
+	// neighbours) hits both equally instead of whichever ran last.
+	var disabled, enabled time.Duration
+	for i := -1; i < rounds; i++ {
+		d, err := run(false)
+		if err != nil {
+			return result{}, err
+		}
+		en, err := run(true)
+		if err != nil {
+			return result{}, err
+		}
+		if i < 0 {
+			continue // warm-up round
+		}
+		if disabled == 0 || d < disabled {
+			disabled = d
+		}
+		if enabled == 0 || en < enabled {
+			enabled = en
+		}
+	}
+	ratio := float64(enabled) / float64(disabled)
+	const slack = 5 * time.Millisecond
+	limit := time.Duration(float64(disabled)*1.02) + slack
+	if enabled > limit {
+		return result{}, fmt.Errorf("tracing overhead guard: enabled %v > %v (disabled %v, ratio %.3f)",
+			enabled, limit, disabled, ratio)
+	}
+	return result{
+		Name:    "guard/trace_overhead/CL",
+		NsPerOp: float64(disabled.Nanoseconds()),
+		Metrics: map[string]float64{
+			"disabled_ns": float64(disabled.Nanoseconds()),
+			"enabled_ns":  float64(enabled.Nanoseconds()),
+			"ratio":       ratio,
+			"rounds":      float64(rounds),
+		},
+	}, nil
 }

@@ -7,6 +7,12 @@
 //	experiments -run fig6a
 //	experiments -run all [-dblp 4000] [-orku 6000] [-partitions 16]
 //	            [-budget 5m] [-out results/]
+//	experiments -run fig6a -trace-out trace.json -debug-addr :6060
+//
+// -trace-out records every engine's phase/shuffle/task spans across
+// the run and writes one Chrome trace-event file (load it in Perfetto
+// or chrome://tracing); -debug-addr serves expvar + pprof while the
+// experiments execute.
 //
 // Dataset sizes default to laptop scale; the paper's absolute numbers
 // used 1.2M–2M rankings on an 8-node Spark cluster. Shapes, not
@@ -22,6 +28,7 @@ import (
 	"time"
 
 	"rankjoin/internal/experiments"
+	"rankjoin/internal/obs"
 )
 
 func main() {
@@ -38,8 +45,19 @@ func main() {
 		budget     = flag.Duration("budget", 0, "per-cell time budget (0 = default 5m)")
 		outDir     = flag.String("out", "", "also write each table to <out>/<name>.txt")
 		seed       = flag.Int64("seed", 0, "dataset seed (0 = default)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace of all engine spans to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar+pprof on this address for the duration")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug listener on http://%s/debug/vars", dbg.Addr())
+	}
 
 	if *list {
 		for _, name := range experiments.Names() {
@@ -71,6 +89,11 @@ func main() {
 	if *seed != 0 {
 		p.Seed = *seed
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		p.Tracer = tracer
+	}
 
 	names := []string{*run}
 	if *run == "all" {
@@ -99,5 +122,18 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trace written to %s", *traceOut)
 	}
 }

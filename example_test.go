@@ -33,6 +33,43 @@ func ExampleJoin() {
 	// (1,3) distance 2
 }
 
+// ExampleEngine_SetTracer attaches a tracer to an engine and prints
+// the span tree of one CL join: the root join span, the four phases of
+// the paper's pipeline, and the final dedup stage. Depth is capped at
+// the phase level (shuffles and per-partition tasks nest below it) and
+// detail is off so the output is deterministic; pass a larger depth and
+// withDetail=true to see durations and partition attributes, or export
+// the same trace with WriteChromeTrace and load it in Perfetto.
+func ExampleEngine_SetTracer() {
+	mk := func(id int64, items ...rankjoin.Item) *rankjoin.Ranking {
+		r, err := rankjoin.NewRanking(id, items)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+	rs := []*rankjoin.Ranking{
+		mk(1, 2, 5, 4, 3, 1),
+		mk(2, 1, 4, 5, 9, 0),
+		mk(3, 2, 5, 4, 1, 3),
+	}
+	e := rankjoin.NewEngine(rankjoin.EngineConfig{})
+	defer e.Close()
+	tracer := rankjoin.NewTracer()
+	e.SetTracer(tracer)
+	if _, err := e.Join(rs, rankjoin.Options{Algorithm: rankjoin.AlgCL, Theta: 0.25}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tracer.TreeString(2, false))
+	// Output:
+	// join/CL
+	//   cl/ordering
+	//   cl/clustering
+	//   cl/joining
+	//   cl/expansion
+	// join/dedup
+}
+
 // ExampleFootrule reproduces the distance computation of the paper's
 // Table 2 (items ranked 0..k-1, missing items at rank k).
 func ExampleFootrule() {

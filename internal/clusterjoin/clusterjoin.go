@@ -19,6 +19,7 @@ import (
 
 	"rankjoin/internal/filters"
 	"rankjoin/internal/flow"
+	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
 )
 
@@ -109,8 +110,11 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	})
 	groups := flow.GroupByKey(routedRecords, opts.Partitions)
 
-	// Per-partition join: home×home plus home×replica.
+	// Per-partition join: home×home plus home×replica. Filter counters
+	// accumulate locally and fold once per partition.
+	partHist := ctx.Histogram("clusterjoin/partition_records")
 	pairs := flow.FlatMap(groups, func(g flow.KV[int, []routed]) []rankings.Pair {
+		partHist.Observe(int64(len(g.V)))
 		var homes, reps []*rankings.Ranking
 		for _, rec := range g.V {
 			if rec.Home {
@@ -120,14 +124,19 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 			}
 		}
 		var out []rankings.Pair
+		var delta obs.FilterDelta
 		verify := func(a, b *rankings.Ranking) {
 			if a.ID == b.ID {
 				return
 			}
+			delta.Generated++
 			if filters.PositionPrune(a, b, maxDist) {
+				delta.PrunedPosition++
 				return
 			}
+			delta.Verified++
 			if d, ok := rankings.FootruleWithin(a, b, maxDist); ok {
+				delta.Emitted++
 				out = append(out, rankings.NewPair(a.ID, b.ID, d))
 			}
 		}
@@ -139,6 +148,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 				verify(homes[i], rep)
 			}
 		}
+		ctx.Filters().Add(delta)
 		return out
 	})
 

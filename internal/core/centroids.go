@@ -9,6 +9,7 @@ package core
 
 import (
 	"rankjoin/internal/filters"
+	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
 )
 
@@ -137,6 +138,7 @@ func verifyCentroidPair(x, y *Centroid, t thresholds, uniform bool, st *kernelSt
 	}
 	st.candidates++
 	if filters.PositionPrune(x.R, y.R, maxDist) {
+		st.prunedPosition++
 		return CPair{}, false
 	}
 	st.verified++
@@ -150,5 +152,17 @@ func verifyCentroidPair(x, y *Centroid, t thresholds, uniform bool, st *kernelSt
 
 // kernelStats mirrors ppjoin.Stats for the centroid kernels.
 type kernelStats struct {
-	candidates, verified, results int64
+	candidates, prunedPosition, verified, results int64
+}
+
+// filterDelta converts one kernel run into the engine-wide
+// filter-effectiveness delta (centroid kernels have no prefix filter:
+// every candidate is either position-pruned or verified).
+func (ks kernelStats) filterDelta() obs.FilterDelta {
+	return obs.FilterDelta{
+		Generated:      ks.candidates,
+		PrunedPosition: ks.prunedPosition,
+		Verified:       ks.verified,
+		Emitted:        ks.results,
+	}
 }

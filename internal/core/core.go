@@ -122,13 +122,20 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 
 	ds := flow.Parallelize(ctx, rs, opts.Partitions).Cache()
 
+	// The four phases of Figure 2 run sequentially on the driver; each
+	// one is a tracer scope, so shuffles and tasks it forces nest under
+	// it in the exported trace. All span calls no-op without a tracer.
+	tr := ctx.Tracer()
+
 	// Phase 1: Ordering — one canonical frequency order for both VJ
 	// runs (§5 "Ordering").
 	phaseStart := time.Now()
+	phaseSpan := tr.StartScope("cl/ordering")
 	ord, err := vj.ComputeOrder(ds, opts.Partitions)
 	if err != nil {
 		return nil, err
 	}
+	phaseSpan.End()
 	ctx.ObserveStage("cl/ordering", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.OrderingTime = time.Since(phaseStart)
@@ -136,6 +143,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 
 	// Phase 2: Clustering — VJ at θc over the pre-ordered dataset.
 	phaseStart = time.Now()
+	phaseSpan = tr.StartScope("cl/clustering")
 	clusterPairsDS, err := vj.JoinDataset(ds, rs, vj.Options{
 		Theta:             opts.ThetaC,
 		Variant:           opts.Variant,
@@ -155,12 +163,21 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	}
 
 	// Clusters: group the θc-pairs by their smaller id — the centroid
-	// (Figure 3). The member keeps its exact centroid distance.
-	clusters := flow.GroupByKey(
-		flow.Map(clusterPairsDS, func(p rankings.Pair) flow.KV[int64, Member] {
-			return flow.KV[int64, Member]{K: p.A, V: Member{ID: p.B, Dist: p.Dist}}
-		}),
-		opts.Partitions,
+	// (Figure 3). The member keeps its exact centroid distance. The
+	// member-count histogram is observed once per cluster (the grouped
+	// dataset is cached, so the observing map runs exactly once).
+	clusterHist := ctx.Histogram("cl/cluster_members")
+	clusters := flow.Map(
+		flow.GroupByKey(
+			flow.Map(clusterPairsDS, func(p rankings.Pair) flow.KV[int64, Member] {
+				return flow.KV[int64, Member]{K: p.A, V: Member{ID: p.B, Dist: p.Dist}}
+			}),
+			opts.Partitions,
+		),
+		func(g flow.KV[int64, []Member]) flow.KV[int64, []Member] {
+			clusterHist.Observe(int64(len(g.V)))
+			return g
+		},
 	).Cache()
 
 	// Singletons: rankings that appear in no θc-pair, found with a
@@ -189,7 +206,6 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 			return &Centroid{R: dict.Value()[id], Singleton: true}
 		}),
 	)
-	ctx.ObserveStage("cl/clustering", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.ClusterPairs = nClusterPairs
 		if opts.Stats.Clusters, err = clusters.Count(); err != nil {
@@ -198,6 +214,10 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 		if opts.Stats.Singletons, err = singletonIDs.Count(); err != nil {
 			return nil, err
 		}
+	}
+	phaseSpan.End()
+	ctx.ObserveStage("cl/clustering", time.Since(phaseStart))
+	if opts.Stats != nil {
 		opts.Stats.ClusteringTime = time.Since(phaseStart)
 	}
 
@@ -205,6 +225,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	// type-dependent prefixes and Lemma 5.3 thresholds, repartitioned
 	// per §6 when Delta > 0.
 	phaseStart = time.Now()
+	phaseSpan = tr.StartScope("cl/joining")
 	ordB := flow.NewBroadcast(ctx, ord)
 	// Degenerate regime: when θ+2θc admits zero-overlap centroid
 	// pairs, prefix posting lists cannot deliver them — route every
@@ -232,12 +253,14 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 			var ks kernelStats
 			out := centroidSelfJoin(members, t, opts.UniformJoinThreshold, &ks)
 			opts.Stats.addJoinKernel(ks)
+			ctx.Filters().Add(ks.filterDelta())
 			return out
 		},
 		Cross: func(_ rankings.Item, a, b []*Centroid) []CPair {
 			var ks kernelStats
 			out := centroidCrossJoin(a, b, t, opts.UniformJoinThreshold, &ks)
 			opts.Stats.addJoinKernel(ks)
+			ctx.Filters().Add(ks.filterDelta())
 			return out
 		},
 		Stats: statsJoining(opts.Stats),
@@ -247,6 +270,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	if err != nil {
 		return nil, err
 	}
+	phaseSpan.End()
 	ctx.ObserveStage("cl/joining", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.CentroidPairs = nCPairs
@@ -255,9 +279,11 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 
 	// Phase 4: Expansion — Algorithm 2.
 	phaseStart = time.Now()
+	phaseSpan = tr.StartScope("cl/expansion")
 	results := expand(expandInputs{
 		thresholds:   t,
 		opts:         opts,
+		filters:      ctx.Filters(),
 		dict:         dict,
 		clusterPairs: clusterPairsDS,
 		clusters:     clusters,
@@ -271,6 +297,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 		return nil, err
 	}
 	rankings.SortPairs(out)
+	phaseSpan.End()
 	ctx.ObserveStage("cl/expansion", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.ExpansionTime = time.Since(phaseStart)

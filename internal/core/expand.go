@@ -3,6 +3,7 @@ package core
 import (
 	"rankjoin/internal/filters"
 	"rankjoin/internal/flow"
+	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
 )
 
@@ -12,10 +13,37 @@ import (
 type expandInputs struct {
 	thresholds   thresholds
 	opts         Options
+	filters      *obs.FilterCounters
 	dict         flow.Broadcast[map[int64]*rankings.Ranking]
 	clusterPairs *flow.Dataset[rankings.Pair]
 	clusters     *flow.Dataset[flow.KV[int64, []Member]]
 	cpairs       *flow.Dataset[CPair]
+}
+
+// expandCounts accumulates per-row candidate accounting so the hot
+// candidate loops touch no atomics; flush folds a row's counts into the
+// run stats and the engine filter counters in one shot each.
+type expandCounts struct {
+	candidates, pruned, accepted, verified, emitted int64
+}
+
+func (c expandCounts) flush(in expandInputs) {
+	if c.candidates == 0 {
+		return
+	}
+	if st := in.opts.Stats; st != nil {
+		st.ExpandCandidates.Add(c.candidates)
+		st.ExpandPruned.Add(c.pruned)
+		st.ExpandAccepted.Add(c.accepted)
+		st.ExpandVerified.Add(c.verified)
+	}
+	in.filters.Add(obs.FilterDelta{
+		Generated:          c.candidates,
+		PrunedTriangle:     c.pruned,
+		AcceptedUnverified: c.accepted,
+		Verified:           c.verified,
+		Emitted:            c.emitted,
+	})
 }
 
 // expand computes the final result set per Algorithm 2:
@@ -49,6 +77,7 @@ func expand(in expandInputs) *flow.Dataset[rankings.Pair] {
 	// Same-cluster member–member pairs: d(mi, mj) ≤ 2θc by the triangle
 	// inequality, so when 2θc ≤ θ the paper writes them out directly.
 	sameCluster := flow.FlatMap(in.clusters, func(g flow.KV[int64, []Member]) []rankings.Pair {
+		var cnt expandCounts
 		var out []rankings.Pair
 		for i := 0; i < len(g.V); i++ {
 			for j := i + 1; j < len(g.V); j++ {
@@ -56,11 +85,12 @@ func expand(in expandInputs) *flow.Dataset[rankings.Pair] {
 				if mi.ID == mj.ID {
 					continue
 				}
-				if p, ok := resolveCandidate(in, mi.ID, mj.ID, mi.Dist+mj.Dist, absInt(mi.Dist-mj.Dist)); ok {
+				if p, ok := resolveCandidate(in, &cnt, mi.ID, mj.ID, mi.Dist+mj.Dist, absInt(mi.Dist-mj.Dist)); ok {
 					out = append(out, p)
 				}
 			}
 		}
+		cnt.flush(in)
 		return out
 	})
 
@@ -88,16 +118,18 @@ func expand(in expandInputs) *flow.Dataset[rankings.Pair] {
 	// single-pivot triangle bound |d(c, other) − d(τ, c)| ≤ d(τ, other).
 	rmc := flow.FlatMap(j1, func(row flow.KV[int64, flow.Joined[pairRec, []Member]]) []rankings.Pair {
 		rec := row.V.Left
+		var cnt expandCounts
 		var out []rankings.Pair
 		for _, m := range row.V.Right {
 			if m.ID == rec.Other {
 				continue
 			}
-			if p, ok := resolveCandidate(in, m.ID, rec.Other,
+			if p, ok := resolveCandidate(in, &cnt, m.ID, rec.Other,
 				rec.Dist+m.Dist, filters.TriangleLower(rec.Dist, m.Dist)); ok {
 				out = append(out, p)
 			}
 		}
+		cnt.flush(in)
 		return out
 	})
 
@@ -123,6 +155,7 @@ func expand(in expandInputs) *flow.Dataset[rankings.Pair] {
 	j2 := flow.Join(step2, in.clusters, opts.Partitions)
 	rmm := flow.FlatMap(j2, func(row flow.KV[int64, flow.Joined[step2Rec, []Member]]) []rankings.Pair {
 		rec := row.V.Left
+		var cnt expandCounts
 		var out []rankings.Pair
 		for _, mi := range rec.Members {
 			for _, mj := range row.V.Right {
@@ -133,12 +166,13 @@ func expand(in expandInputs) *flow.Dataset[rankings.Pair] {
 				if lower < 0 {
 					lower = 0
 				}
-				if p, ok := resolveCandidate(in, mi.ID, mj.ID,
+				if p, ok := resolveCandidate(in, &cnt, mi.ID, mj.ID,
 					mi.Dist+rec.CDist+mj.Dist, lower); ok {
 					out = append(out, p)
 				}
 			}
 		}
+		cnt.flush(in)
 		return out
 	})
 	return flow.Union(direct,
@@ -150,30 +184,24 @@ func expand(in expandInputs) *flow.Dataset[rankings.Pair] {
 // resolveCandidate decides one expansion candidate (a, b) given a
 // triangle upper and lower bound on its distance: prune when the lower
 // bound exceeds θ, accept unverified when allowed and the upper bound
-// certifies the pair, otherwise verify against the dictionary.
-func resolveCandidate(in expandInputs, a, b int64, upper, lower int) (rankings.Pair, bool) {
+// certifies the pair, otherwise verify against the dictionary. Counts
+// land in cnt; the caller flushes once per row.
+func resolveCandidate(in expandInputs, cnt *expandCounts, a, b int64, upper, lower int) (rankings.Pair, bool) {
 	t := in.thresholds
-	st := in.opts.Stats
-	if st != nil {
-		st.ExpandCandidates.Add(1)
-	}
+	cnt.candidates++
 	if !in.opts.NoTriangleFilter && lower > t.f {
-		if st != nil {
-			st.ExpandPruned.Add(1)
-		}
+		cnt.pruned++
 		return rankings.Pair{}, false
 	}
 	if in.opts.UnverifiedPartials && !in.opts.NoTriangleFilter && upper <= t.f {
-		if st != nil {
-			st.ExpandAccepted.Add(1)
-		}
+		cnt.accepted++
+		cnt.emitted++
 		return rankings.NewPair(a, b, -1), true
 	}
-	if st != nil {
-		st.ExpandVerified.Add(1)
-	}
+	cnt.verified++
 	ra, rb := in.dict.Value()[a], in.dict.Value()[b]
 	if d, ok := rankings.FootruleWithin(ra, rb, t.f); ok {
+		cnt.emitted++
 		return rankings.NewPair(a, b, d), true
 	}
 	return rankings.Pair{}, false

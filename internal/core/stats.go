@@ -22,6 +22,7 @@ type Stats struct {
 
 	// Centroid-join kernel counters.
 	JoinCandidates atomic.Int64
+	JoinPruned     atomic.Int64 // dropped by the position filter
 	JoinVerified   atomic.Int64
 	JoinResults    atomic.Int64
 
@@ -50,6 +51,7 @@ func (s *Stats) addJoinKernel(k kernelStats) {
 		return
 	}
 	s.JoinCandidates.Add(k.candidates)
+	s.JoinPruned.Add(k.prunedPosition)
 	s.JoinVerified.Add(k.verified)
 	s.JoinResults.Add(k.results)
 }
@@ -68,10 +70,10 @@ func (s *Stats) String() string {
 	}
 	return fmt.Sprintf(
 		"clusterPairs=%d clusters=%d singletons=%d centroidPairs=%d results=%d "+
-			"joinCand=%d joinVer=%d expCand=%d expPruned=%d expAccepted=%d expVer=%d "+
+			"joinCand=%d joinPruned=%d joinVer=%d expCand=%d expPruned=%d expAccepted=%d expVer=%d "+
 			"times[order=%v cluster=%v join=%v expand=%v]",
 		s.ClusterPairs, s.Clusters, s.Singletons, s.CentroidPairs, s.Results,
-		s.JoinCandidates.Load(), s.JoinVerified.Load(),
+		s.JoinCandidates.Load(), s.JoinPruned.Load(), s.JoinVerified.Load(),
 		s.ExpandCandidates.Load(), s.ExpandPruned.Load(), s.ExpandAccepted.Load(), s.ExpandVerified.Load(),
 		s.OrderingTime, s.ClusteringTime, s.JoiningTime, s.ExpansionTime)
 }

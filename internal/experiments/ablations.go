@@ -18,7 +18,9 @@ import (
 // mechanism is supposed to move.
 
 func newCtx(p Params) *flow.Context {
-	return flow.NewContext(flow.Config{Workers: p.Workers, DefaultPartitions: p.Partitions})
+	ctx := flow.NewContext(flow.Config{Workers: p.Workers, DefaultPartitions: p.Partitions})
+	ctx.SetTracer(p.Tracer)
+	return ctx
 }
 
 // AblationOrdering measures §4's claim that frequency reordering pays

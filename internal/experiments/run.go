@@ -10,6 +10,7 @@ import (
 	"rankjoin/internal/dataset"
 	"rankjoin/internal/flow"
 	"rankjoin/internal/fsjoin"
+	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
 	"rankjoin/internal/vj"
 	"rankjoin/internal/vsmart"
@@ -37,6 +38,10 @@ type Params struct {
 	Repeats int
 	// Seed feeds dataset generation.
 	Seed int64
+	// Tracer, when non-nil, is attached to every engine the suite
+	// creates, recording phase/shuffle/task spans across all cells
+	// (export with WriteChromeTrace). Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // DefaultParams returns the suite sizing used by cmd/experiments and
@@ -121,6 +126,9 @@ type RunConfig struct {
 	Delta      int     // CL-P / repartitioning threshold
 	Workers    int
 	Partitions int
+	// Tracer records this cell's spans when non-nil (Measure inherits
+	// it from Params.Tracer).
+	Tracer *obs.Tracer
 }
 
 // Measurement is one cell's outcome.
@@ -138,6 +146,7 @@ func Run(w Workload, cfg RunConfig) (Measurement, error) {
 		DefaultPartitions: cfg.Partitions,
 	})
 	defer ctx.Close()
+	ctx.SetTracer(cfg.Tracer)
 
 	thetaC := cfg.ThetaC
 	if thetaC == 0 {
@@ -225,6 +234,9 @@ func Measure(p Params, w Workload, cfg RunConfig) (Measurement, error) {
 	}
 	if cfg.Partitions == 0 {
 		cfg.Partitions = p.Partitions
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = p.Tracer
 	}
 	repeats := p.Repeats
 	if repeats <= 0 {

@@ -189,7 +189,7 @@ func Union[T any](a, b *Dataset[T]) *Dataset[T] {
 // partition order.
 func (d *Dataset[T]) Collect() ([]T, error) {
 	outs := make([][]T, d.parts)
-	err := d.ctx.parallelDo(d.parts, func(p int) error {
+	err := d.ctx.tracedDo("collect", d.parts, func(p int) error {
 		part, err := d.partition(p)
 		if err != nil {
 			return err
@@ -215,7 +215,7 @@ func (d *Dataset[T]) Collect() ([]T, error) {
 func (d *Dataset[T]) Count() (int64, error) {
 	var n int64
 	var mu sync.Mutex
-	err := d.ctx.parallelDo(d.parts, func(p int) error {
+	err := d.ctx.tracedDo("count", d.parts, func(p int) error {
 		part, err := d.partition(p)
 		if err != nil {
 			return err
@@ -267,7 +267,7 @@ func Reduce[T any](d *Dataset[T], merge func(T, T) T) (T, bool, error) {
 // ForEachPartition runs fn over every partition for its side effects
 // (writing results to disk, collecting statistics, ...).
 func (d *Dataset[T]) ForEachPartition(fn func(p int, in []T) error) error {
-	return d.ctx.parallelDo(d.parts, func(p int) error {
+	return d.ctx.tracedDo("foreach", d.parts, func(p int) error {
 		in, err := d.partition(p)
 		if err != nil {
 			return err

@@ -35,6 +35,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rankjoin/internal/obs"
 )
 
 // Config sizes the engine. The zero value is usable: it runs with
@@ -75,6 +77,7 @@ type Context struct {
 	cfg     Config
 	metrics Metrics
 	spill   *spillManager
+	tracer  atomic.Pointer[obs.Tracer]
 }
 
 // NewContext builds a Context from cfg (see Config for defaults).
@@ -89,6 +92,25 @@ func NewContext(cfg Config) *Context {
 
 // Config returns the (defaulted) configuration of the context.
 func (c *Context) Config() Config { return c.cfg }
+
+// SetTracer attaches a span tracer to the context; every subsequent
+// shuffle, action and instrumented pipeline phase records spans on it.
+// A nil tracer detaches tracing; with no tracer attached every
+// instrumentation site reduces to a nil check.
+func (c *Context) SetTracer(tr *obs.Tracer) { c.tracer.Store(tr) }
+
+// Tracer returns the attached tracer, or nil when tracing is off.
+func (c *Context) Tracer() *obs.Tracer { return c.tracer.Load() }
+
+// Filters returns the context's filter-effectiveness counters. Kernels
+// accumulate locally and fold one FilterDelta per invocation here.
+func (c *Context) Filters() *obs.FilterCounters { return &c.metrics.Filters }
+
+// Histogram returns the named engine histogram, creating it on first
+// use. Names are conventionally slash-scoped ("shuffle/partition_records",
+// "cl/cluster_members"); all registered histograms appear in
+// MetricsSnapshot.Histograms.
+func (c *Context) Histogram(name string) *obs.Histogram { return c.metrics.histogram(name) }
 
 // Workers returns the executor budget of the context.
 func (c *Context) Workers() int { return c.cfg.Workers }
@@ -148,6 +170,23 @@ func (c *Context) parallelDo(n int, fn func(i int) error) error {
 	return nil
 }
 
+// tracedDo is parallelDo wrapped in spans: one task span for the whole
+// action plus a child task span per partition. With no tracer attached
+// it is exactly parallelDo — the nil check is the entire overhead.
+func (c *Context) tracedDo(name string, n int, fn func(i int) error) error {
+	tr := c.Tracer()
+	if tr == nil {
+		return c.parallelDo(n, fn)
+	}
+	sp := tr.StartTask(name, obs.Int("partitions", int64(n)))
+	defer sp.End()
+	return c.parallelDo(n, func(i int) error {
+		tsp := sp.StartTask(name+".task", obs.Int("partition", int64(i)))
+		defer tsp.End()
+		return fn(i)
+	})
+}
+
 // Metrics aggregates engine-level counters across all stages executed
 // on a context. Counters are cumulative; use Snapshot to read them and
 // Reset to start a fresh measurement window.
@@ -168,11 +207,40 @@ type Metrics struct {
 	// materializing shuffle exchanges (scatter plan, fused copy and
 	// spill), the engine's dominant fixed cost.
 	ShuffleNanos atomic.Int64
+	// Filters aggregates the filter-effectiveness counters folded in by
+	// the join kernels through Context.Filters.
+	Filters obs.FilterCounters
 
 	// stageNanos accumulates wall-clock per named pipeline stage,
 	// recorded by Context.ObserveStage.
 	stageMu    sync.Mutex
 	stageNanos map[string]int64
+
+	// hists holds the named skew histograms (shuffle partition sizes,
+	// posting-list lengths, cluster sizes), created on first use.
+	histMu sync.RWMutex
+	hists  map[string]*obs.Histogram
+}
+
+// histogram returns the named histogram, creating it on first use.
+// Lookup is a read-lock in the steady state.
+func (m *Metrics) histogram(name string) *obs.Histogram {
+	m.histMu.RLock()
+	h := m.hists[name]
+	m.histMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	if h = m.hists[name]; h == nil {
+		if m.hists == nil {
+			m.hists = make(map[string]*obs.Histogram)
+		}
+		h = &obs.Histogram{}
+		m.hists[name] = h
+	}
+	return h
 }
 
 func (m *Metrics) observePartitionSize(n int64) {
@@ -207,9 +275,16 @@ type MetricsSnapshot struct {
 	// ShuffleTime is the wall-clock spent materializing shuffle
 	// exchanges.
 	ShuffleTime time.Duration
+	// Filters is the filter-effectiveness tally of the run; see
+	// obs.FilterDelta for the conservation law the fields obey.
+	Filters obs.FiltersSnapshot
 	// Stages maps pipeline stage names to accumulated wall-clock time
 	// recorded via ObserveStage. Nil when no stage was observed.
 	Stages map[string]time.Duration
+	// Histograms maps engine histogram names (e.g.
+	// "shuffle/partition_records") to their snapshots. Nil when nothing
+	// was observed.
+	Histograms map[string]obs.HistogramSnapshot
 }
 
 // Snapshot returns the current counter values.
@@ -221,7 +296,16 @@ func (c *Context) Snapshot() MetricsSnapshot {
 		BroadcastValues:     c.metrics.BroadcastValues.Load(),
 		MaxPartitionRecords: c.metrics.MaxPartitionRecords.Load(),
 		ShuffleTime:         time.Duration(c.metrics.ShuffleNanos.Load()),
+		Filters:             c.metrics.Filters.Snapshot(),
 	}
+	c.metrics.histMu.RLock()
+	if len(c.metrics.hists) > 0 {
+		s.Histograms = make(map[string]obs.HistogramSnapshot, len(c.metrics.hists))
+		for name, h := range c.metrics.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	c.metrics.histMu.RUnlock()
 	c.metrics.stageMu.Lock()
 	if len(c.metrics.stageNanos) > 0 {
 		s.Stages = make(map[string]time.Duration, len(c.metrics.stageNanos))
@@ -241,14 +325,21 @@ func (c *Context) ResetMetrics() {
 	c.metrics.BroadcastValues.Store(0)
 	c.metrics.MaxPartitionRecords.Store(0)
 	c.metrics.ShuffleNanos.Store(0)
+	c.metrics.Filters.Reset()
 	c.metrics.stageMu.Lock()
 	c.metrics.stageNanos = nil
 	c.metrics.stageMu.Unlock()
+	c.metrics.histMu.Lock()
+	c.metrics.hists = nil
+	c.metrics.histMu.Unlock()
 }
 
 func (s MetricsSnapshot) String() string {
 	msg := fmt.Sprintf("tasks=%d shuffled=%d spilled=%d broadcasts=%d maxPartition=%d shuffleTime=%v",
 		s.Tasks, s.ShuffleRecords, s.SpilledRecords, s.BroadcastValues, s.MaxPartitionRecords, s.ShuffleTime)
+	if !s.Filters.IsZero() {
+		msg += fmt.Sprintf(" filters[%s]", s.Filters)
+	}
 	if len(s.Stages) > 0 {
 		names := make([]string, 0, len(s.Stages))
 		for name := range s.Stages {
@@ -257,6 +348,16 @@ func (s MetricsSnapshot) String() string {
 		sort.Strings(names)
 		for _, name := range names {
 			msg += fmt.Sprintf(" %s=%v", name, s.Stages[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		names := make([]string, 0, len(s.Histograms))
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			msg += fmt.Sprintf(" hist[%s]={%s}", name, s.Histograms[name])
 		}
 	}
 	return msg

@@ -4,6 +4,8 @@ import (
 	"hash/maphash"
 	"sync"
 	"time"
+
+	"rankjoin/internal/obs"
 )
 
 // KV is a key-value record, the unit of all wide (shuffling)
@@ -49,13 +51,23 @@ func runShuffle[K comparable, V any](d *Dataset[KV[K, V]], parts int, st *shuffl
 	start := time.Now()
 	defer func() { ctx.metrics.ShuffleNanos.Add(int64(time.Since(start))) }()
 
+	// The shuffle span attaches to the driver's current scope — the
+	// pipeline phase whose action forced this materialization. All
+	// tracing below is nil-safe and free when no tracer is attached.
+	sp := ctx.Tracer().StartTask("shuffle",
+		obs.Int("sources", int64(d.parts)), obs.Int("partitions", int64(parts)))
+	defer sp.End()
+
 	// Pass 1 — scatter plan: materialize each source once, tag every
 	// record with its destination (so the hash is computed once) and
 	// count per-destination sizes. Records are not copied here.
 	ins := make([][]KV[K, V], d.parts)
 	tags := make([][]uint32, d.parts)
 	counts := make([][]int, d.parts)
+	scan := sp.StartChild("shuffle.scan")
 	st.err = ctx.parallelDo(d.parts, func(src int) error {
+		tsp := scan.StartTask("scan", obs.Int("partition", int64(src)))
+		defer tsp.End()
 		in, err := d.partition(src)
 		if err != nil {
 			return err
@@ -68,9 +80,11 @@ func runShuffle[K comparable, V any](d *Dataset[KV[K, V]], parts int, st *shuffl
 			cnt[dst]++
 		}
 		ctx.metrics.ShuffleRecords.Add(int64(len(in)))
+		tsp.SetInt("records", int64(len(in)))
 		ins[src], tags[src], counts[src] = in, tag, cnt
 		return nil
 	})
+	scan.End()
 	if st.err != nil {
 		return
 	}
@@ -88,14 +102,22 @@ func runShuffle[K comparable, V any](d *Dataset[KV[K, V]], parts int, st *shuffl
 		offsets[src] = off
 	}
 	buckets := make([][]KV[K, V], parts)
+	partHist := ctx.Histogram("shuffle/partition_records")
+	var total int64
 	for dst, n := range sizes {
 		buckets[dst] = make([]KV[K, V], n)
 		ctx.metrics.observePartitionSize(int64(n))
+		partHist.Observe(int64(n))
+		total += int64(n)
 	}
+	sp.SetInt("records", total)
 
 	// Pass 2 — fused scatter+gather: each source writes its records
 	// into their final position, then releases its input.
+	write := sp.StartChild("shuffle.write")
 	st.err = ctx.parallelDo(d.parts, func(src int) error {
+		tsp := write.StartTask("write", obs.Int("partition", int64(src)))
+		defer tsp.End()
 		off := offsets[src]
 		tag := tags[src]
 		for i, kv := range ins[src] {
@@ -106,6 +128,7 @@ func runShuffle[K comparable, V any](d *Dataset[KV[K, V]], parts int, st *shuffl
 		ins[src], tags[src] = nil, nil
 		return nil
 	})
+	write.End()
 	if st.err != nil {
 		return
 	}
@@ -114,10 +137,15 @@ func runShuffle[K comparable, V any](d *Dataset[KV[K, V]], parts int, st *shuffl
 	if ctx.spill == nil {
 		return
 	}
+	spillSpan := sp.StartChild("shuffle.spill")
+	defer spillSpan.End()
 	st.err = ctx.parallelDo(parts, func(dst int) error {
 		if sizes[dst] <= ctx.spill.threshold {
 			return nil
 		}
+		tsp := spillSpan.StartTask("spill",
+			obs.Int("partition", int64(dst)), obs.Int("records", int64(sizes[dst])))
+		defer tsp.End()
 		path, err := spillWrite(ctx.spill, buckets[dst])
 		if err != nil {
 			return err

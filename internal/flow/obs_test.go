@@ -1,0 +1,161 @@
+package flow_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rankjoin/internal/flow"
+	"rankjoin/internal/obs"
+)
+
+// TestMetricsConcurrentObservation hammers every observation path of
+// the metrics surface — stage timings, filter counters, histograms,
+// snapshots and resets — from concurrent goroutines while a real
+// shuffle runs. Run with -race; it exists to prove the instrumentation
+// is safe to call from any task at any time.
+func TestMetricsConcurrentObservation(t *testing.T) {
+	ctx := flow.NewContext(flow.Config{Workers: 4, DefaultPartitions: 4})
+	defer ctx.Close()
+
+	const writers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx.ObserveStage(fmt.Sprintf("stage-%d", w%3), time.Microsecond)
+				ctx.Histogram("test/values").Observe(int64(i % 128))
+				ctx.Filters().Add(obs.FilterDelta{Generated: 2, PrunedPosition: 1, Verified: 1})
+				switch i % 3 {
+				case 0:
+					_ = ctx.Snapshot()
+				case 1:
+					_ = ctx.Snapshot().String()
+				case 2:
+					if w == 0 {
+						ctx.ResetMetrics()
+					}
+				}
+			}
+		}(w)
+	}
+
+	data := make([]flow.KV[int, int], 2048)
+	for i := range data {
+		data[i] = flow.KV[int, int]{K: i % 67, V: i}
+	}
+	for round := 0; round < 5; round++ {
+		tr := obs.NewTracer()
+		ctx.SetTracer(tr)
+		grouped := flow.GroupByKey(flow.Parallelize(ctx, data, 4), 4)
+		if _, err := grouped.Collect(); err != nil {
+			t.Fatal(err)
+		}
+		ctx.SetTracer(nil)
+	}
+	close(stop)
+	wg.Wait()
+
+	// A reset can interleave with a multi-field Add, so conservation is
+	// only guaranteed in quiescence: reset once more and re-add.
+	ctx.ResetMetrics()
+	ctx.Filters().Add(obs.FilterDelta{Generated: 2, PrunedPosition: 1, Verified: 1})
+	if s := ctx.Snapshot(); !s.Filters.Conserved() {
+		t.Fatalf("filters not conserved in quiescence: %v", s.Filters)
+	}
+}
+
+// TestShuffleSpansWellFormed checks that a traced shuffle produces a
+// structurally valid span tree (everything ended, children inside
+// parents, no same-track sibling overlap) with the expected shape.
+func TestShuffleSpansWellFormed(t *testing.T) {
+	ctx := flow.NewContext(flow.Config{Workers: 4, DefaultPartitions: 4})
+	defer ctx.Close()
+	tr := obs.NewTracer()
+	ctx.SetTracer(tr)
+
+	data := make([]flow.KV[string, int], 500)
+	for i := range data {
+		data[i] = flow.KV[string, int]{K: fmt.Sprintf("k%d", i%31), V: i}
+	}
+	root := tr.StartScope("test/root")
+	grouped := flow.GroupByKey(flow.Parallelize(ctx, data, 4), 8)
+	if _, err := grouped.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	ctx.SetTracer(nil)
+
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace not well-formed: %v", err)
+	}
+	tree := tr.Tree()
+	for _, want := range []string{"shuffle", "shuffle.scan", "shuffle.write", "scan", "write", "collect", "collect.task"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("trace missing %q:\n%s", want, tree)
+		}
+	}
+
+	s := ctx.Snapshot()
+	h, ok := s.Histograms["shuffle/partition_records"]
+	if !ok {
+		t.Fatalf("missing shuffle/partition_records histogram; have %v", s.Histograms)
+	}
+	if h.Count != 8 {
+		t.Fatalf("partition histogram count = %d, want 8 (one per destination)", h.Count)
+	}
+	if h.Sum != 500 {
+		t.Fatalf("partition histogram sum = %d, want 500", h.Sum)
+	}
+	if h.Max != s.MaxPartitionRecords {
+		t.Fatalf("histogram max %d != MaxPartitionRecords %d", h.Max, s.MaxPartitionRecords)
+	}
+}
+
+// TestSnapshotStringDeterministic pins the ordering contract of
+// MetricsSnapshot.String: stages and histograms appear sorted by name,
+// so repeated renderings of one snapshot are byte-identical.
+func TestSnapshotStringDeterministic(t *testing.T) {
+	ctx := flow.NewContext(flow.Config{})
+	defer ctx.Close()
+	ctx.ObserveStage("b/stage", time.Millisecond)
+	ctx.ObserveStage("a/stage", time.Millisecond)
+	ctx.Histogram("z/hist").Observe(4)
+	ctx.Histogram("a/hist").Observe(2)
+	ctx.Filters().Add(obs.FilterDelta{Generated: 3, PrunedPrefix: 1, Verified: 2, Emitted: 1})
+
+	s := ctx.Snapshot()
+	got := s.String()
+	if got != s.String() {
+		t.Fatal("String not deterministic across calls")
+	}
+	aStage := strings.Index(got, "a/stage=")
+	bStage := strings.Index(got, "b/stage=")
+	if aStage < 0 || bStage < 0 || aStage > bStage {
+		t.Fatalf("stages not sorted in %q", got)
+	}
+	aHist := strings.Index(got, "hist[a/hist]=")
+	zHist := strings.Index(got, "hist[z/hist]=")
+	if aHist < 0 || zHist < 0 || aHist > zHist {
+		t.Fatalf("histograms not sorted in %q", got)
+	}
+	if !strings.Contains(got, "filters[generated=3 prunedPrefix=1") {
+		t.Fatalf("filters missing from %q", got)
+	}
+
+	ctx.ResetMetrics()
+	rs := ctx.Snapshot()
+	if !rs.Filters.IsZero() || len(rs.Histograms) != 0 || len(rs.Stages) != 0 {
+		t.Fatalf("reset did not clear observability state: %s", rs)
+	}
+}

@@ -73,6 +73,7 @@ func spillWrite[T any](s *spillManager, bucket []T) (string, error) {
 	}
 	s.register(path)
 	s.metrics.SpilledRecords.Add(int64(len(bucket)))
+	s.metrics.histogram("shuffle/spilled_bucket_records").Observe(int64(len(bucket)))
 	return path, nil
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"rankjoin/internal/filters"
 	"rankjoin/internal/flow"
+	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
 )
 
@@ -89,8 +90,14 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	})
 	groups := flow.GroupByKey(routed, parts)
 
+	segHist := ctx.Histogram("fsjoin/segment_records")
 	pairs := flow.FlatMap(groups, func(g flow.KV[int, []*rankings.Ranking]) []rankings.Pair {
+		segHist.Observe(int64(len(g.V)))
 		var out []rankings.Pair
+		// Only home-segment pairs count as candidates: the same pair
+		// enumerated in a foreign segment is a routing artifact, not a
+		// filter-cascade decision.
+		var delta obs.FilterDelta
 		for i := 0; i < len(g.V); i++ {
 			a := g.V[i]
 			for j := i + 1; j < len(g.V); j++ {
@@ -108,14 +115,19 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 				if home != g.K {
 					continue
 				}
+				delta.Generated++
 				if filters.PositionPrune(a, b, maxDist) {
+					delta.PrunedPosition++
 					continue
 				}
+				delta.Verified++
 				if d, within := rankings.FootruleWithin(a, b, maxDist); within {
+					delta.Emitted++
 					out = append(out, rankings.NewPair(a.ID, b.ID, d))
 				}
 			}
 		}
+		ctx.Filters().Add(delta)
 		return out
 	})
 	out, err := pairs.Collect()

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeDebugExposesVarsAndPprof(t *testing.T) {
+	Publish("obs_test_var", func() any { return map[string]int{"x": 1} })
+	// Re-publishing the same name must not panic and the newest
+	// function must win.
+	Publish("obs_test_var", func() any { return map[string]int{"x": 2} })
+
+	d, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("vars not JSON: %v\n%s", err, body)
+	}
+	var v map[string]int
+	if err := json.Unmarshal(vars["obs_test_var"], &v); err != nil || v["x"] != 2 {
+		t.Fatalf("obs_test_var = %s (err %v), want x=2", vars["obs_test_var"], err)
+	}
+
+	resp, err = http.Get("http://" + d.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+}

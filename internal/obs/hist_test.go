@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 2, 3, 4, 7, 8, 1024} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 9 || s.Max != 1024 || s.Sum != 1050 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// bits.Len64: 0→bucket0, 1→1, 2..3→2, 4..7→3, 8→4, 1024→11.
+	want := map[int]int64{0: 1, 1: 2, 2: 2, 3: 2, 4: 1, 11: 1}
+	for b, n := range want {
+		if s.Buckets[b] != n {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", b, s.Buckets[b], n, s.Buckets)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	// p50 of 1..100 falls in bucket 6 ([32,64)); the upper bound is 63.
+	if q := s.Quantile(0.5); q != 63 {
+		t.Fatalf("p50 = %d, want 63", q)
+	}
+	// p95 and p100 land in the top bucket [64,128), capped at max 100.
+	if q := s.Quantile(0.95); q != 100 {
+		t.Fatalf("p95 = %d, want 100", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Fatalf("p100 = %d, want 100", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram quantile/mean should be 0")
+	}
+}
+
+func TestHistogramNilAndNegative(t *testing.T) {
+	var h *Histogram
+	h.Observe(5) // no-op, no panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	var real Histogram
+	real.Observe(-7) // clamped to zero bucket
+	if s := real.Snapshot(); s.Buckets[0] != 1 || s.Sum != 0 {
+		t.Fatalf("negative observe snapshot = %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Max != 99 {
+		t.Fatalf("max = %d, want 99", s.Max)
+	}
+}
+
+func TestFilterCountersConservation(t *testing.T) {
+	var c FilterCounters
+	c.Add(FilterDelta{Generated: 10, PrunedPrefix: 2, PrunedPosition: 3, Verified: 5, Emitted: 1})
+	c.Add(FilterDelta{Generated: 4, PrunedTriangle: 1, AcceptedUnverified: 1, Verified: 2, Emitted: 2})
+	s := c.Snapshot()
+	if !s.Conserved() {
+		t.Fatalf("not conserved: %v", s)
+	}
+	if s.Generated != 14 || s.Emitted != 3 {
+		t.Fatalf("snapshot = %v", s)
+	}
+	c.Reset()
+	if !c.Snapshot().IsZero() {
+		t.Fatalf("after reset: %v", c.Snapshot())
+	}
+	var nilC *FilterCounters
+	nilC.Add(FilterDelta{Generated: 1}) // no-op
+	nilC.Reset()
+	if !nilC.Snapshot().IsZero() {
+		t.Fatal("nil counters should snapshot zero")
+	}
+}
+
+func ExampleHistogramSnapshot_String() {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	fmt.Println(h.Snapshot())
+	// Output:
+	// n=4 mean=26.5 p50<=3 p95<=3 max=100
+}

@@ -1,0 +1,47 @@
+// Package obs is the zero-dependency observability layer of the
+// engine: hierarchical span tracing, typed filter-effectiveness
+// counters, and lock-cheap power-of-two histograms.
+//
+// The paper's evaluation (§7) reasons in candidate counts surviving
+// each filter (prefix, position, triangle inequality) and in partition
+// skew (the δ repartitioning trigger of §6). This package makes both
+// observable on every run:
+//
+//   - Tracer records phase → stage → partition-task spans with
+//     start/duration/attributes and exports Chrome trace-event JSON
+//     (loadable in Perfetto / chrome://tracing) plus a compact text
+//     tree. A nil *Tracer is a valid no-op sink: every method is
+//     nil-receiver safe, so instrumentation sites pay one nil check
+//     when tracing is disabled.
+//
+//   - FilterCounters classifies the fate of every candidate pair a
+//     join enumerates: pruned by the prefix-token rank check, pruned
+//     by the full position filter, pruned by the triangle inequality,
+//     accepted unverified by a triangle certificate, or verified. The
+//     counters are conserved: Generated equals the sum of the four
+//     fates plus Verified.
+//
+//   - Histogram buckets observations by power of two with atomic
+//     counters — cheap enough to record every shuffle partition size,
+//     posting-list length and cluster size, replacing the lone
+//     max-partition skew signal.
+//
+// Everything here is stdlib-only; the debug HTTP listener (expvar +
+// pprof) lives in ServeDebug and is opt-in.
+package obs
+
+import "strconv"
+
+// Attr is one span attribute. Values are strings; use Int for
+// numeric attributes.
+type Attr struct {
+	Key, Value string
+}
+
+// String builds a string-valued attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer-valued attribute.
+func Int(key string, value int64) Attr {
+	return Attr{Key: key, Value: strconv.FormatInt(value, 10)}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartScope("a")
+	if sp != nil {
+		t.Fatalf("nil tracer StartScope = %v, want nil", sp)
+	}
+	// Every span method must be callable on nil.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 1)
+	sp.End()
+	if c := sp.StartChild("c"); c != nil {
+		t.Fatalf("nil span StartChild = %v", c)
+	}
+	if c := sp.StartTask("t"); c != nil {
+		t.Fatalf("nil span StartTask = %v", c)
+	}
+	if got := sp.Name(); got != "" {
+		t.Fatalf("nil span Name = %q", got)
+	}
+	if tr.Roots() != nil || tr.Tree() != "" || tr.Validate() != nil {
+		t.Fatal("nil tracer accessors should be empty no-ops")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil tracer WriteChromeTrace should error")
+	}
+}
+
+func TestScopeNestingAndCurrent(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartScope("root")
+	child := tr.StartScope("child")
+	grand := tr.StartTask("grand") // parents to current == child
+	grand.End()
+	child.End()
+	sibling := tr.StartScope("sibling") // current back to root
+	sibling.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "root" {
+		t.Fatalf("roots = %v", names(roots))
+	}
+	got := names(roots[0].Children())
+	want := []string{"child", "sibling"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("root children = %v, want %v", got, want)
+	}
+	if g := names(roots[0].Children()[0].Children()); strings.Join(g, ",") != "grand" {
+		t.Fatalf("child children = %v", g)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesUnendedSpan(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartScope("open")
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate should flag an unended span")
+	}
+	sp.End()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTasksLeaseDistinctTracks(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartScope("stage")
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := root.StartTask("task", Int("i", int64(i)))
+			time.Sleep(time.Millisecond)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Track reuse keeps track ids bounded by peak concurrency, and two
+	// overlapping tasks never share one.
+	if len(root.Children()) != n {
+		t.Fatalf("children = %d, want %d", len(root.Children()), n)
+	}
+}
+
+func TestChromeTraceExportParses(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartScope("join/CL", String("algo", "CL"))
+	sh := tr.StartTask("shuffle", Int("records", 100))
+	task := sh.StartTask("scan", Int("partition", 0))
+	task.End()
+	sh.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	byName := map[string]bool{}
+	for _, ev := range file.TraceEvents {
+		byName[ev.Name] = true
+	}
+	for _, want := range []string{"process_name", "join/CL", "shuffle", "scan"} {
+		if !byName[want] {
+			t.Fatalf("trace missing event %q; have %v", want, buf.String())
+		}
+	}
+}
+
+func TestTreeStringDepthAndDetail(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartScope("root")
+	child := tr.StartScope("child")
+	leaf := child.StartChild("leaf")
+	leaf.End()
+	child.End()
+	root.End()
+
+	flat := tr.TreeString(2, false)
+	want := "root\n  child\n"
+	if flat != want {
+		t.Fatalf("TreeString(2,false) = %q, want %q", flat, want)
+	}
+	full := tr.Tree()
+	if !strings.Contains(full, "leaf") {
+		t.Fatalf("full tree missing leaf: %q", full)
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartScope("s")
+	sp.SetInt("records", 1)
+	sp.SetInt("records", 2)
+	sp.End()
+	attrs := sp.Attrs()
+	if len(attrs) != 1 || attrs[0].Value != "2" {
+		t.Fatalf("attrs = %v", attrs)
+	}
+}
+
+func names(spans []*Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name()
+	}
+	return out
+}

@@ -12,14 +12,23 @@ package ppjoin
 
 import (
 	"rankjoin/internal/filters"
+	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
 )
 
 // Stats counts the work a kernel performed. Pass nil to skip counting.
+// Every candidate meets exactly one fate, so
+// Candidates == PrunedPrefix + PrunedPosition + Verified.
 type Stats struct {
-	// Candidates is the number of pairs that reached the position
-	// filter.
+	// Candidates is the number of pairs the kernel enumerated.
 	Candidates int64
+	// PrunedPrefix is the number of candidates discarded by the
+	// single-item rank check at the indexed prefix token (PrefixIndex
+	// only).
+	PrunedPrefix int64
+	// PrunedPosition is the number of candidates discarded by the full
+	// merged-pass position filter.
+	PrunedPosition int64
 	// Verified is the number of pairs whose Footrule distance was
 	// computed.
 	Verified int64
@@ -32,8 +41,22 @@ func (s *Stats) add(o Stats) {
 		return
 	}
 	s.Candidates += o.Candidates
+	s.PrunedPrefix += o.PrunedPrefix
+	s.PrunedPosition += o.PrunedPosition
 	s.Verified += o.Verified
 	s.Results += o.Results
+}
+
+// FilterDelta converts kernel stats into the engine-wide
+// filter-effectiveness delta folded into flow.Context.Filters.
+func (s Stats) FilterDelta() obs.FilterDelta {
+	return obs.FilterDelta{
+		Generated:      s.Candidates,
+		PrunedPrefix:   s.PrunedPrefix,
+		PrunedPosition: s.PrunedPosition,
+		Verified:       s.Verified,
+		Emitted:        s.Results,
+	}
 }
 
 // BruteForce verifies every pair — the correctness oracle for tests and
@@ -75,6 +98,7 @@ func NestedLoop(rs []*rankings.Ranking, maxDist int, st *Stats) []rankings.Pair 
 			}
 			local.Candidates++
 			if filters.PositionPrune(a, b, maxDist) {
+				local.PrunedPosition++
 				continue
 			}
 			local.Verified++
@@ -127,9 +151,11 @@ func PrefixIndex(rs []*rankings.Ranking, ord *rankings.Order, prefix, maxDist in
 				seen[key] = struct{}{}
 				local.Candidates++
 				if filters.PositionPruneItem(rank, p.rank, maxDist) {
+					local.PrunedPrefix++
 					continue
 				}
 				if filters.PositionPrune(r, other, maxDist) {
+					local.PrunedPosition++
 					continue
 				}
 				local.Verified++
@@ -158,6 +184,7 @@ func RS(r, s []*rankings.Ranking, maxDist int, st *Stats) []rankings.Pair {
 			}
 			local.Candidates++
 			if filters.PositionPrune(a, b, maxDist) {
+				local.PrunedPosition++
 				continue
 			}
 			local.Verified++

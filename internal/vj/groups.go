@@ -90,11 +90,14 @@ func JoinTokenGroups[T, R any](groups *flow.Dataset[flow.KV[rankings.Item, []T]]
 	if parts <= 0 {
 		parts = ctx.Config().DefaultPartitions
 	}
+	// Posting-list length distribution — the skew signal δ reacts to.
+	listHist := ctx.Histogram("join/posting_list_len")
 
 	if opts.Delta <= 0 {
 		// No repartitioning: one kernel invocation per posting list.
 		return flow.FlatMap(groups, func(g flow.KV[rankings.Item, []T]) []R {
 			opts.Stats.addGroup(len(g.V), false)
+			listHist.Observe(int64(len(g.V)))
 			return opts.Self(g.K, g.V)
 		})
 	}
@@ -115,6 +118,7 @@ func JoinTokenGroups[T, R any](groups *flow.Dataset[flow.KV[rankings.Item, []T]]
 	})
 	smallPairs := flow.FlatMap(small, func(g flow.KV[rankings.Item, []T]) []R {
 		opts.Stats.addGroup(len(g.V), false)
+		listHist.Observe(int64(len(g.V)))
 		return opts.Self(g.K, g.V)
 	})
 
@@ -130,6 +134,7 @@ func JoinTokenGroups[T, R any](groups *flow.Dataset[flow.KV[rankings.Item, []T]]
 	}
 	subs := flow.FlatMap(large, func(g flow.KV[rankings.Item, []T]) []flow.KV[subKey, []T] {
 		opts.Stats.addGroup(len(g.V), true)
+		listHist.Observe(int64(len(g.V)))
 		n := (len(g.V) + opts.Delta - 1) / opts.Delta
 		chunks := make([][]T, n)
 		for _, rec := range g.V {

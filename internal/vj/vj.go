@@ -5,6 +5,7 @@ import (
 
 	"rankjoin/internal/filters"
 	"rankjoin/internal/flow"
+	"rankjoin/internal/obs"
 	"rankjoin/internal/ppjoin"
 	"rankjoin/internal/rankings"
 )
@@ -129,8 +130,8 @@ func JoinDataset(ds *flow.Dataset[*rankings.Ranking], rs []*rankings.Ranking, op
 		Delta:             opts.Delta,
 		RepartitionFactor: opts.RepartitionFactor,
 		SubKey:            func(r *rankings.Ranking) int64 { return r.ID },
-		Self:              selfKernel(ordB, prefix, maxDist, opts),
-		Cross:             crossKernel(ordB, prefix, maxDist, opts),
+		Self:              selfKernel(ordB, ctx.Filters(), prefix, maxDist, opts),
+		Cross:             crossKernel(ordB, ctx.Filters(), prefix, maxDist, opts),
 		Stats:             opts.Stats,
 	})
 
@@ -177,8 +178,10 @@ func ComputeOrder(ds *flow.Dataset[*rankings.Ranking], parts int) (*rankings.Ord
 }
 
 // selfKernel builds the within-partition kernel for the selected
-// variant.
-func selfKernel(ordB flow.Broadcast[*rankings.Order], prefix, maxDist int, opts Options) func(rankings.Item, []*rankings.Ranking) []rankings.Pair {
+// variant. Kernel counters accumulate locally and fold once per
+// invocation into both the caller's Stats and the engine-wide filter
+// counters fc.
+func selfKernel(ordB flow.Broadcast[*rankings.Order], fc *obs.FilterCounters, prefix, maxDist int, opts Options) func(rankings.Item, []*rankings.Ranking) []rankings.Pair {
 	return func(item rankings.Item, members []*rankings.Ranking) []rankings.Pair {
 		var st ppjoin.Stats
 		var out []rankings.Pair
@@ -197,6 +200,7 @@ func selfKernel(ordB flow.Broadcast[*rankings.Order], prefix, maxDist int, opts 
 			out = filterLeastToken(ordB.Value(), prefix, item, members, out)
 		}
 		opts.Stats.AddKernel(st)
+		fc.Add(st.FilterDelta())
 		return out
 	}
 }
@@ -204,7 +208,7 @@ func selfKernel(ordB flow.Broadcast[*rankings.Order], prefix, maxDist int, opts 
 // crossKernel builds the R-S kernel used between sub-partitions. With
 // least-token deduplication, the same filter applies: the pair is kept
 // only in the sub-partitions of its minimal shared prefix token.
-func crossKernel(ordB flow.Broadcast[*rankings.Order], prefix, maxDist int, opts Options) func(rankings.Item, []*rankings.Ranking, []*rankings.Ranking) []rankings.Pair {
+func crossKernel(ordB flow.Broadcast[*rankings.Order], fc *obs.FilterCounters, prefix, maxDist int, opts Options) func(rankings.Item, []*rankings.Ranking, []*rankings.Ranking) []rankings.Pair {
 	return func(item rankings.Item, a, b []*rankings.Ranking) []rankings.Pair {
 		var st ppjoin.Stats
 		out := ppjoin.RS(a, b, maxDist, &st)
@@ -215,6 +219,7 @@ func crossKernel(ordB flow.Broadcast[*rankings.Order], prefix, maxDist int, opts
 			out = filterLeastToken(ordB.Value(), prefix, item, members, out)
 		}
 		opts.Stats.AddKernel(st)
+		fc.Add(st.FilterDelta())
 		return out
 	}
 }

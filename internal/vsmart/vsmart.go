@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"rankjoin/internal/flow"
+	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
 )
 
@@ -73,7 +74,9 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 
 	// Similarity phase, step 1: emit the gain of every pair on every
 	// posting list.
+	listHist := ctx.Histogram("join/posting_list_len")
 	gains := flow.FlatMap(lists, func(g flow.KV[rankings.Item, []entry]) []flow.KV[rankings.PairKey, int] {
+		listHist.Observe(int64(len(g.V)))
 		var out []flow.KV[rankings.PairKey, int]
 		for i := 0; i < len(g.V); i++ {
 			for j := i + 1; j < len(g.V); j++ {
@@ -97,13 +100,23 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	})
 
 	// Similarity phase, step 2: sum the gains per pair and keep pairs
-	// reaching the required total.
+	// reaching the required total. V-SMART has no filter cascade: every
+	// aggregated pair's distance is known exactly, so each counts as
+	// generated and verified.
 	summed := flow.ReduceByKey(gains, opts.Partitions, func(a, b int) int { return a + b })
-	results := flow.FlatMap(summed, func(kv flow.KV[rankings.PairKey, int]) []rankings.Pair {
-		if kv.V >= needGain {
-			return []rankings.Pair{{A: kv.K.A, B: kv.K.B, Dist: k*(k+1) - kv.V}}
+	results := flow.MapPartitions(summed, func(_ int, in []flow.KV[rankings.PairKey, int]) ([]rankings.Pair, error) {
+		var out []rankings.Pair
+		var delta obs.FilterDelta
+		for _, kv := range in {
+			delta.Generated++
+			delta.Verified++
+			if kv.V >= needGain {
+				delta.Emitted++
+				out = append(out, rankings.Pair{A: kv.K.A, B: kv.K.B, Dist: k*(k+1) - kv.V})
+			}
 		}
-		return nil
+		ctx.Filters().Add(delta)
+		return out, nil
 	})
 	out, err := results.Collect()
 	if err != nil {

@@ -1,0 +1,148 @@
+package rankjoin_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rankjoin"
+	"rankjoin/internal/testutil"
+)
+
+// TestFilterConservation asserts the counter conservation law on a
+// seeded join for every algorithm: every candidate a filter cascade
+// generates is pruned (by prefix, position, or triangle), accepted
+// unverified, or verified — nothing lost, nothing double-counted.
+func TestFilterConservation(t *testing.T) {
+	rs := sample(t, 3, 160, 10, 120)
+	for _, alg := range []rankjoin.Algorithm{
+		rankjoin.AlgBruteForce, rankjoin.AlgVJ, rankjoin.AlgVJNL,
+		rankjoin.AlgCL, rankjoin.AlgCLP,
+		rankjoin.AlgVSMART, rankjoin.AlgClusterJoin, rankjoin.AlgFSJoin,
+	} {
+		res, err := rankjoin.Join(rs, rankjoin.Options{Algorithm: alg, Theta: 0.25})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		f := res.Filters
+		if f.Generated == 0 {
+			t.Errorf("%v: no candidates generated", alg)
+		}
+		if !f.Conserved() {
+			t.Errorf("%v: conservation violated: %s", alg, f)
+		}
+		if f.Verified == 0 && f.AcceptedUnverified == 0 {
+			t.Errorf("%v: nothing verified: %s", alg, f)
+		}
+	}
+}
+
+// TestCLPAllFilterClassesFire pins a configuration where every pruning
+// class of the CL-P cascade is exercised at once: prefix and position
+// pruning in the clustering/joining phases, triangle pruning in the
+// expansion phase. This is the regime the BENCH_2 report captures.
+func TestCLPAllFilterClassesFire(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rs := testutil.ClusteredDataset(rng, 300, 4, 10, 300)
+	res, err := rankjoin.Join(rs, rankjoin.Options{
+		Algorithm: rankjoin.AlgCLP,
+		Theta:     0.3,
+		ThetaC:    0.15, // large enough for non-singleton clusters
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Filters
+	if f.PrunedPrefix == 0 || f.PrunedPosition == 0 || f.PrunedTriangle == 0 {
+		t.Errorf("expected all pruning classes non-zero, got %s", f)
+	}
+	if !f.Conserved() {
+		t.Errorf("conservation violated: %s", f)
+	}
+	if f.Emitted == 0 {
+		t.Errorf("no pairs emitted: %s", f)
+	}
+}
+
+// TestJoinTraceWellFormed drives the public tracing API end to end: a
+// traced CL-P join must produce a structurally valid span forest (all
+// spans ended, children inside parents, no same-track sibling overlap)
+// containing the four CL phases, and export parseable Chrome trace
+// JSON with per-partition task events.
+func TestJoinTraceWellFormed(t *testing.T) {
+	rs := sample(t, 5, 200, 10, 150)
+	e := rankjoin.NewEngine(rankjoin.EngineConfig{})
+	defer e.Close()
+	tr := rankjoin.NewTracer()
+	e.SetTracer(tr)
+	if _, err := e.Join(rs, rankjoin.Options{Algorithm: rankjoin.AlgCLP, Theta: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace ill-formed: %v", err)
+	}
+	tree := tr.TreeString(2, false)
+	for _, phase := range []string{"join/CL-P", "cl/ordering", "cl/clustering", "cl/joining", "cl/expansion", "join/dedup"} {
+		if !strings.Contains(tree, phase) {
+			t.Errorf("span tree missing %q:\n%s", phase, tree)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("chrome trace unparseable: %v", err)
+	}
+	tasks := 0
+	names := make(map[string]bool)
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		names[ev.Name] = true
+		if ev.Cat == "task" {
+			tasks++
+		}
+	}
+	for _, phase := range []string{"cl/ordering", "cl/clustering", "cl/joining", "cl/expansion"} {
+		if !names[phase] {
+			t.Errorf("chrome trace missing phase span %q", phase)
+		}
+	}
+	if tasks == 0 {
+		t.Error("chrome trace has no per-partition task events")
+	}
+}
+
+// TestResultFiltersSurvivesEngineReuse: each Join on a shared engine
+// resets the counters, so Result.Filters describes that run alone.
+func TestResultFiltersSurvivesEngineReuse(t *testing.T) {
+	rs := sample(t, 9, 120, 10, 100)
+	e := rankjoin.NewEngine(rankjoin.EngineConfig{})
+	defer e.Close()
+	first, err := e.Join(rs, rankjoin.Options{Algorithm: rankjoin.AlgVJ, Theta: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Join(rs, rankjoin.Options{Algorithm: rankjoin.AlgVJ, Theta: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Filters != second.Filters {
+		t.Errorf("same join, different counters:\n first=%s\nsecond=%s", first.Filters, second.Filters)
+	}
+	if !second.Filters.Conserved() {
+		t.Errorf("conservation violated after reuse: %s", second.Filters)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"rankjoin/internal/core"
 	"rankjoin/internal/flow"
 	"rankjoin/internal/fsjoin"
+	"rankjoin/internal/obs"
 	"rankjoin/internal/ppjoin"
 	"rankjoin/internal/rankings"
 	"rankjoin/internal/vj"
@@ -185,10 +186,29 @@ type Result struct {
 	// Kernel holds the kernel statistics of a VJ/VJ-NL run when
 	// Options.Stats was set (nil otherwise).
 	Kernel *vj.StatsSnapshot
+	// Filters is the filter-effectiveness tally of the run: candidates
+	// generated and their fates (pruned by prefix, position or triangle
+	// inequality, accepted unverified, verified). Always collected; the
+	// counts obey Generated == PrunedPrefix + PrunedPosition +
+	// PrunedTriangle + AcceptedUnverified + Verified.
+	Filters FilterStats
 	// Engine is a snapshot of the engine counters accumulated by this
-	// run (shuffled records, tasks, spills, largest partition).
+	// run (shuffled records, tasks, spills, largest partition, skew
+	// histograms).
 	Engine flow.MetricsSnapshot
 }
+
+// FilterStats reports filter effectiveness; see Result.Filters.
+type FilterStats = obs.FiltersSnapshot
+
+// Tracer records hierarchical spans (pipeline phases, shuffles,
+// partition tasks) of the joins run on an engine it is attached to.
+// Export with WriteChromeTrace (load the file in Perfetto or
+// chrome://tracing) or render with Tree. See Engine.SetTracer.
+type Tracer = obs.Tracer
+
+// NewTracer creates an empty trace whose clock starts now.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // EngineConfig sizes the embedded dataflow engine — the analogue of the
 // paper's Table 3 Spark parameters.
@@ -226,6 +246,11 @@ func NewEngine(cfg EngineConfig) *Engine {
 // Close releases engine resources (spill files).
 func (e *Engine) Close() error { return e.ctx.Close() }
 
+// SetTracer attaches tr to the engine: every subsequent Join records
+// phase, shuffle and task spans on it. Pass nil to detach. With no
+// tracer attached the instrumentation is free (a nil check per site).
+func (e *Engine) SetTracer(tr *Tracer) { e.ctx.SetTracer(tr) }
+
 // Join runs a similarity join on this engine.
 func (e *Engine) Join(rs []*Ranking, opts Options) (*Result, error) {
 	if opts.Theta < 0 || opts.Theta > 1 {
@@ -234,6 +259,9 @@ func (e *Engine) Join(rs []*Ranking, opts Options) (*Result, error) {
 	e.ctx.ResetMetrics()
 	res := &Result{Algorithm: opts.Algorithm}
 	start := time.Now()
+	rootSpan := e.ctx.Tracer().StartScope("join/"+opts.Algorithm.String(),
+		obs.Int("rankings", int64(len(rs))))
+	defer rootSpan.End() // idempotent; closes the scope on error returns
 	var pairs []Pair
 	var err error
 	switch opts.Algorithm {
@@ -243,7 +271,9 @@ func (e *Engine) Join(rs []*Ranking, opts Options) (*Result, error) {
 		}
 		if len(rs) > 0 {
 			maxDist := rankings.Threshold(opts.Theta, rs[0].K())
-			pairs = ppjoin.BruteForce(rs, maxDist, nil)
+			var st ppjoin.Stats
+			pairs = ppjoin.BruteForce(rs, maxDist, &st)
+			e.ctx.Filters().Add(st.FilterDelta())
 		}
 	case AlgVJ, AlgVJNL:
 		variant := vj.IndexJoin
@@ -319,11 +349,15 @@ func (e *Engine) Join(rs []*Ranking, opts Options) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("rankjoin: unknown algorithm %v", opts.Algorithm)
 	}
+	rootSpan.End()
 	e.ctx.ObserveStage("join/"+opts.Algorithm.String(), time.Since(start))
 	dedupStart := time.Now()
+	dedupSpan := e.ctx.Tracer().StartScope("join/dedup")
 	res.Pairs = rankings.DedupPairs(pairs)
+	dedupSpan.End()
 	e.ctx.ObserveStage("join/dedup", time.Since(dedupStart))
 	res.Engine = e.ctx.Snapshot()
+	res.Filters = res.Engine.Filters
 	return res, nil
 }
 
