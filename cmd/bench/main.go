@@ -27,9 +27,16 @@
 //     exceeds the detached one by more than 2%;
 //   - -debug-addr ADDR serves expvar + pprof for the duration.
 //
+// Serving flags (Bench 3):
+//
+//   - -serve boots the rankserved HTTP stack (sharded index + server)
+//     in-process and measures QPS and exact p50/p99 request latency
+//     for /v1/search and /v1/knn under concurrent clients at two
+//     dataset sizes.
+//
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_2.json -trace-out trace.json -guard
+//	go run ./cmd/bench -out BENCH_3.json -trace-out trace.json -guard -serve
 package main
 
 import (
@@ -72,6 +79,7 @@ func main() {
 	guard := flag.Bool("guard", false, "fail if attaching a tracer slows the macro join by >2%")
 	guardRounds := flag.Int("guard-rounds", 5, "rounds per mode for the -guard comparison (min wins)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address for the duration")
+	serve := flag.Bool("serve", false, "benchmark the rankserved HTTP stack (QPS, p50/p99 latency)")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -83,7 +91,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: debug listener on http://%s/debug/vars\n", dbg.Addr())
 	}
 
-	rep := report{Bench: 2, Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	rep := report{Bench: 3, Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	add := func(r result) {
 		rep.Results = append(rep.Results, r)
 		fmt.Fprintf(os.Stderr, "%-40s %12.1f ns/op  %v\n", r.Name, r.NsPerOp, r.Metrics)
@@ -117,6 +125,15 @@ func main() {
 			fatal(err)
 		}
 		add(r)
+	}
+	if *serve {
+		srs, err := serveBenches([]int{2000, 10000})
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range srs {
+			add(r)
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

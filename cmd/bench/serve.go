@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/server"
+	"rankjoin/internal/shard"
+	"rankjoin/internal/testutil"
+)
+
+// The -serve micro-benchmark (Bench 3): boot the rankserved stack
+// in-process behind a real HTTP listener and hammer /v1/search and
+// /v1/knn from concurrent clients, reporting QPS and exact p50/p99
+// request latency at two dataset sizes. Queries draw random dataset
+// ids, so repeats land in the epoch-tagged query cache at a realistic
+// rate — the cached fraction is reported alongside.
+
+const (
+	serveClients  = 8
+	serveRequests = 4000 // total per (size, endpoint) configuration
+	serveK        = 10
+	serveTheta    = 0.25
+	serveKNN      = 10
+)
+
+func serveBenches(sizes []int) ([]result, error) {
+	var out []result
+	for _, n := range sizes {
+		rs, err := serveBench(n)
+		if err != nil {
+			return nil, fmt.Errorf("serve n=%d: %w", n, err)
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+func serveBench(n int) ([]result, error) {
+	rng := rand.New(rand.NewSource(99))
+	data := testutil.ClusteredDataset(rng, n/5, 5, serveK, 30*serveK)
+	idx := shard.New(shard.Config{})
+	for _, r := range data {
+		if err := idx.Insert(r); err != nil {
+			return nil, err
+		}
+	}
+	srv := server.New(server.Config{Index: idx})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out []result
+	for _, ep := range []struct {
+		name string
+		path string
+		body func(id int64) any
+	}{
+		{"search", "/v1/search", func(id int64) any {
+			return map[string]any{"id": id, "theta": serveTheta}
+		}},
+		{"knn", "/v1/knn", func(id int64) any {
+			return map[string]any{"id": id, "k": serveKNN}
+		}},
+	} {
+		r, err := hammer(ts.URL+ep.path, data, ep.body)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ep.name, err)
+		}
+		r.Name = fmt.Sprintf("serve/%s/n=%d", ep.name, n)
+		r.Metrics["rankings"] = float64(n)
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// hammer fires serveRequests requests at url from serveClients
+// concurrent workers and returns QPS plus exact latency quantiles.
+func hammer(url string, data []*rankings.Ranking, body func(id int64) any) (*result, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	perWorker := serveRequests / serveClients
+	lat := make([][]time.Duration, serveClients)
+	cachedCounts := make([]int, serveClients)
+	errs := make([]error, serveClients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < serveClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			lat[w] = make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				id := data[rng.Intn(len(data))].ID
+				enc, err := json.Marshal(body(id))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(enc))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				var ans struct {
+					Hits   []shard.Neighbor `json:"hits"`
+					Cached bool             `json:"cached"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&ans)
+				resp.Body.Close()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[w] = fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				lat[w] = append(lat[w], time.Since(t0))
+				if ans.Cached {
+					cachedCounts[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []time.Duration
+	cached := 0
+	for w := range lat {
+		all = append(all, lat[w]...)
+		cached += cachedCounts[w]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	return &result{
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(len(all)),
+		Metrics: map[string]float64{
+			"qps":          float64(len(all)) / elapsed.Seconds(),
+			"p50_us":       float64(q(0.50).Microseconds()),
+			"p99_us":       float64(q(0.99).Microseconds()),
+			"max_us":       float64(all[len(all)-1].Microseconds()),
+			"requests":     float64(len(all)),
+			"clients":      serveClients,
+			"cached_ratio": float64(cached) / float64(len(all)),
+		},
+	}, nil
+}

@@ -1,0 +1,128 @@
+// Command rankserved is the online serving daemon: a sharded,
+// dynamically updatable metric index over top-k rankings behind an
+// HTTP/JSON API. Where cmd/rankjoin and cmd/ranksearch answer offline
+// batch questions, rankserved holds a live dataset that absorbs
+// Insert/Delete traffic, re-pivots itself as the data churns, and
+// answers range/kNN queries with request coalescing and an
+// epoch-invalidated query cache.
+//
+// Usage:
+//
+//	rankserved -addr localhost:7357 -data rankings.txt
+//	curl -s localhost:7357/v1/search -d '{"items":[1,2,3,4,5],"theta":0.2}'
+//	curl -s localhost:7357/v1/knn -d '{"id":42,"k":10}'
+//	curl -s localhost:7357/v1/insert -d '{"rankings":[{"id":7,"items":[9,8,7,6,5]}]}'
+//	curl -s localhost:7357/statusz | jq .
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops accepting, in-flight requests drain (bounded by -timeout), and
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rankjoin/internal/obs"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/server"
+	"rankjoin/internal/shard"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rankserved: ")
+
+	var (
+		addr      = flag.String("addr", "localhost:7357", "listen address (use :0 for a free port)")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file (for scripts)")
+		data      = flag.String("data", "", "preload this dataset file (optional)")
+		shards    = flag.Int("shards", 8, "number of index shards")
+		pivots    = flag.Int("pivots", 8, "pivots per shard")
+		seed      = flag.Int64("seed", 1, "pivot-selection seed")
+		cacheSize = flag.Int("cache", 1024, "query-cache entries (negative disables)")
+		maxBatch  = flag.Int("max-batch", 64, "max coalesced searches per shard sweep")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request deadline")
+		debugAddr = flag.String("debug-addr", "", "serve expvar+pprof on this address")
+	)
+	flag.Parse()
+
+	idx := shard.New(shard.Config{Shards: *shards, PivotsPerShard: *pivots, Seed: *seed})
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := rankings.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rs {
+			if err := idx.Insert(r); err != nil {
+				log.Fatalf("preload %s: %v", *data, err)
+			}
+		}
+		log.Printf("preloaded %d rankings (k=%d) into %d shards", idx.Len(), idx.K(), *shards)
+	}
+
+	srv := server.New(server.Config{
+		Index:          idx,
+		CacheSize:      *cacheSize,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *timeout,
+	})
+	defer srv.Close()
+
+	if *debugAddr != "" {
+		obs.Publish("rankserved", func() any { return srv.Status() })
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug listener on http://%s/debug/vars", dbg.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("serving on http://%s (shards=%d pivots=%d cache=%d)",
+		ln.Addr(), *shards, *pivots, *cacheSize)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout+2*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Print("drained, bye")
+	case err := <-errCh:
+		if err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "rankserved:", err)
+			os.Exit(1)
+		}
+	}
+}

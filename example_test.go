@@ -117,7 +117,10 @@ func ExampleBuildIndex() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hits := idx.Search(rs[0], 0.2)
+	hits, err := idx.Search(rs[0], 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, h := range hits {
 		fmt.Printf("neighbor pair (%d,%d) at distance %d\n", h.A, h.B, h.Dist)
 	}

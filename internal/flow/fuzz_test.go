@@ -1,0 +1,95 @@
+package flow_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rankjoin/internal/flow"
+	"rankjoin/internal/rankings"
+)
+
+// FuzzTextRankings drives arbitrary bytes through the dataset-loading
+// path the daemon and CLIs share: flow.TextFile split into byte-range
+// partitions, then rankings.ParseLine per line. Three properties must
+// hold for any input:
+//
+//  1. nothing panics — malformed server input (rankserved -data, HTTP
+//     "line" queries) must surface as errors, never crash the process;
+//  2. splitting is lossless — the multi-partition read yields exactly
+//     the single-partition line stream, in order, for every split
+//     count (the Hadoop TextInputFormat invariant textio.go claims);
+//  3. parsing is deterministic — ParseLine succeeds or fails the same
+//     way on the line regardless of which split delivered it, and
+//     rankings.Read over the whole file agrees with the per-line
+//     verdicts.
+func FuzzTextRankings(f *testing.F) {
+	if data, err := os.ReadFile(filepath.Join("..", "..", "examples", "quickstart", "rankings.txt")); err == nil {
+		f.Add(string(data), uint8(3))
+	}
+	seeds := []string{
+		"2 5 4 3 1\n1 4 5 9 0\n",
+		"7: 2 5 4 3 1\n8: 1,4,5,9,0\n",
+		"# comment\n\n1: 1 2 3\n",
+		"1: 1 2 3",   // no trailing newline
+		"\n\n\n",     // blank lines only
+		"1: 1 1 1\n", // duplicate items — must error, not panic
+		"x: 1 2 3\n999999999999999999999999: 1\n",
+		"1: 99999999999999999999\n-5: 3 2 1\n",
+		"\xff\xfe garbage \x00\n1: 1 2\r\n",
+		strings.Repeat("9", 1<<10) + "\n",
+	}
+	for _, s := range seeds {
+		for _, p := range []uint8{0, 1, 4} {
+			f.Add(s, p)
+		}
+	}
+	f.Fuzz(func(t *testing.T, content string, splits uint8) {
+		path := filepath.Join(t.TempDir(), "data.txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ctx := flow.NewContext(flow.Config{})
+		defer ctx.Close()
+
+		whole, err := flow.TextFile(ctx, path, 1).Collect()
+		if err != nil {
+			t.Fatalf("single-split read: %v", err)
+		}
+		parts := int(splits%8) + 1
+		split, err := flow.TextFile(ctx, path, parts).Collect()
+		if err != nil {
+			t.Fatalf("%d-split read: %v", parts, err)
+		}
+		if len(split) != len(whole) {
+			t.Fatalf("%d splits: %d lines, single split: %d", parts, len(split), len(whole))
+		}
+		for i := range whole {
+			if split[i] != whole[i] {
+				t.Fatalf("%d splits: line %d = %q, single split %q", parts, i, split[i], whole[i])
+			}
+		}
+
+		// Every non-blank, non-comment line goes through the ranking
+		// parser; it may reject, it must not panic.
+		parsed := 0
+		for i, line := range whole {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if r, err := rankings.ParseLine(line, int64(i)); err == nil {
+				if r == nil || r.K() == 0 {
+					t.Fatalf("line %q: ParseLine returned %v with nil error", line, r)
+				}
+				parsed++
+			}
+		}
+		// rankings.Read is all-or-nothing: on success it must have
+		// accepted exactly the lines ParseLine accepts.
+		if rs, err := rankings.Read(strings.NewReader(content)); err == nil && len(rs) != parsed {
+			t.Fatalf("Read parsed %d rankings, per-line parse accepted %d", len(rs), parsed)
+		}
+	})
+}

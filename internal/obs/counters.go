@@ -113,13 +113,13 @@ func (c *FilterCounters) Snapshot() FiltersSnapshot {
 // FiltersSnapshot is a plain-value copy of FilterCounters; see
 // FilterDelta for the field semantics and conservation law.
 type FiltersSnapshot struct {
-	Generated          int64
-	PrunedPrefix       int64
-	PrunedPosition     int64
-	PrunedTriangle     int64
-	AcceptedUnverified int64
-	Verified           int64
-	Emitted            int64
+	Generated          int64 `json:"generated"`
+	PrunedPrefix       int64 `json:"pruned_prefix"`
+	PrunedPosition     int64 `json:"pruned_position"`
+	PrunedTriangle     int64 `json:"pruned_triangle"`
+	AcceptedUnverified int64 `json:"accepted_unverified"`
+	Verified           int64 `json:"verified"`
+	Emitted            int64 `json:"emitted"`
 }
 
 // Conserved reports whether the conservation law holds: every

@@ -1,0 +1,602 @@
+// Package server exposes the sharded dynamic index (internal/shard)
+// over an HTTP/JSON API — the online serving counterpart of the
+// offline batch joins. One Server owns an index and layers the serving
+// concerns on top of it:
+//
+//   - request coalescing: concurrent /v1/search and /v1/knn requests
+//     that arrive while a sweep is running are answered by the next
+//     sweep together (internal/server/batch.go), so each shard is
+//     locked and scanned once per batch;
+//   - an LRU query cache whose entries are tagged with the per-shard
+//     epoch vector, so any Insert/Delete invalidates affected results
+//     implicitly (internal/server/cache.go);
+//   - per-request deadlines (503/504 instead of piling up), bounded
+//     request bodies, and graceful shutdown through Close;
+//   - observability: every sweep is traced (spans per batch and per
+//     shard, exported at /debug/trace), pivot-pruning filter counters
+//     and per-endpoint latency histograms surface in /statusz.
+//
+// Endpoints:
+//
+//	POST /v1/search  {"items":[...]|"line":"1 2 3"|"id":N, "theta":0.2}
+//	POST /v1/knn     {"items":[...]|"line":...|"id":N, "k":10}
+//	POST /v1/insert  {"rankings":[{"id":1,"items":[...]}, ...]}
+//	POST /v1/delete  {"ids":[...]}
+//	POST /v1/join    {"rankings":[...], "theta":0.2}   (small ad-hoc self-join)
+//	GET  /healthz    liveness probe
+//	GET  /statusz    JSON status: shards, cache, filters, latency
+//	GET  /debug/trace  Chrome trace JSON of the most recent sweep
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"rankjoin/internal/obs"
+	"rankjoin/internal/ppjoin"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/shard"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Index is the serving index; nil builds a fresh default one.
+	Index *shard.Index
+	// CacheSize is the LRU query-cache capacity in entries (0 = 1024,
+	// negative disables caching).
+	CacheSize int
+	// MaxBatch caps how many queued searches one sweep answers (0 = 64).
+	MaxBatch int
+	// RequestTimeout bounds each request (0 = 5s).
+	RequestTimeout time.Duration
+	// MaxJoinRankings caps the ad-hoc /v1/join input (0 = 2048).
+	MaxJoinRankings int
+	// MaxBodyBytes bounds request bodies (0 = 16 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the rankserved request handler. Create with New, mount
+// Handler, and Close when done.
+type Server struct {
+	idx      *shard.Index
+	cache    *queryCache
+	batch    *batcher
+	timeout  time.Duration
+	maxJoin  int
+	maxBody  int64
+	start    time.Time
+	mux      *http.ServeMux
+	requests map[string]*endpointStats
+
+	traceMu   sync.Mutex
+	lastTrace *obs.Tracer
+}
+
+// endpointStats tracks request count and latency for one endpoint.
+type endpointStats struct {
+	mu      sync.Mutex
+	count   int64
+	errors  int64
+	latency obs.Histogram // microseconds
+}
+
+func (e *endpointStats) observe(d time.Duration, failed bool) {
+	e.mu.Lock()
+	e.count++
+	if failed {
+		e.errors++
+	}
+	e.mu.Unlock()
+	e.latency.Observe(d.Microseconds())
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	idx := cfg.Index
+	if idx == nil {
+		idx = shard.New(shard.Config{})
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 1024
+	}
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	maxJoin := cfg.MaxJoinRankings
+	if maxJoin == 0 {
+		maxJoin = 2048
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = 16 << 20
+	}
+	s := &Server{
+		idx:      idx,
+		cache:    newQueryCache(cacheSize),
+		timeout:  timeout,
+		maxJoin:  maxJoin,
+		maxBody:  maxBody,
+		start:    time.Now(),
+		mux:      http.NewServeMux(),
+		requests: make(map[string]*endpointStats),
+	}
+	s.batch = newBatcher(idx, cfg.MaxBatch, s.storeTrace)
+	s.route("/v1/search", http.MethodPost, s.handleSearch)
+	s.route("/v1/knn", http.MethodPost, s.handleKNN)
+	s.route("/v1/insert", http.MethodPost, s.handleInsert)
+	s.route("/v1/delete", http.MethodPost, s.handleDelete)
+	s.route("/v1/join", http.MethodPost, s.handleJoin)
+	s.route("/healthz", http.MethodGet, s.handleHealthz)
+	s.route("/statusz", http.MethodGet, s.handleStatusz)
+	s.route("/debug/trace", http.MethodGet, s.handleTrace)
+	return s
+}
+
+// Index returns the serving index (for preloading and tests).
+func (s *Server) Index() *shard.Index { return s.idx }
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the request batcher; in-flight requests receive errors.
+func (s *Server) Close() { s.batch.close() }
+
+func (s *Server) storeTrace(tr *obs.Tracer) {
+	s.traceMu.Lock()
+	s.lastTrace = tr
+	s.traceMu.Unlock()
+}
+
+// route registers an instrumented handler: method check, body bound,
+// deadline, request count + latency.
+func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Request) error) {
+	st := &endpointStats{}
+	s.requests[path] = st
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
+			return
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		start := time.Now()
+		err := h(w, r.WithContext(ctx))
+		st.observe(time.Since(start), err != nil)
+	})
+}
+
+// httpError carries a status code out of a handler.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}
+
+// finish maps a handler error onto the wire.
+func finish(w http.ResponseWriter, err error) error {
+	if err == nil {
+		return nil
+	}
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		writeError(w, he.status, he.err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, errors.New("request deadline exceeded"))
+	case errors.Is(err, errServerClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, shard.ErrKMismatch), errors.Is(err, shard.ErrNilRanking):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// --- request/response shapes ---
+
+type rankingJSON struct {
+	ID    int64           `json:"id"`
+	Items []rankings.Item `json:"items"`
+}
+
+type queryRequest struct {
+	Items []rankings.Item `json:"items,omitempty"`
+	Line  string          `json:"line,omitempty"`
+	ID    *int64          `json:"id,omitempty"`
+	Theta *float64        `json:"theta,omitempty"`
+	K     int             `json:"k,omitempty"`
+}
+
+type searchResponse struct {
+	Hits   []shard.Neighbor `json:"hits"`
+	Cached bool             `json:"cached"`
+}
+
+// parseQuery resolves the three accepted query spellings into a
+// validated, indexed ranking plus the id to exclude from results
+// (self-exclusion when querying by indexed id).
+func (s *Server) parseQuery(req *queryRequest) (*rankings.Ranking, int64, error) {
+	switch {
+	case req.ID != nil:
+		if len(req.Items) > 0 || req.Line != "" {
+			return nil, 0, badRequest(errors.New("give exactly one of items, line, id"))
+		}
+		r, ok := s.idx.Get(*req.ID)
+		if !ok {
+			return nil, 0, &httpError{status: http.StatusNotFound,
+				err: fmt.Errorf("no indexed ranking with id %d", *req.ID)}
+		}
+		return r, r.ID, nil
+	case req.Line != "":
+		if len(req.Items) > 0 {
+			return nil, 0, badRequest(errors.New("give exactly one of items, line, id"))
+		}
+		q, err := rankings.ParseLine(req.Line, shard.NoExclude)
+		if err != nil {
+			return nil, 0, badRequest(err)
+		}
+		q.Index()
+		return q, shard.NoExclude, nil
+	case len(req.Items) > 0:
+		q, err := rankings.New(shard.NoExclude, req.Items)
+		if err != nil {
+			return nil, 0, badRequest(err)
+		}
+		q.Index()
+		return q, shard.NoExclude, nil
+	default:
+		return nil, 0, badRequest(errors.New("missing query: give items, line or id"))
+	}
+}
+
+func (s *Server) checkQueryK(q *rankings.Ranking) error {
+	if k := s.idx.K(); k != 0 && q.K() != k {
+		return badRequest(fmt.Errorf("query k=%d, index k=%d", q.K(), k))
+	}
+	return nil
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest(fmt.Errorf("bad request body: %w", err))
+	}
+	return nil
+}
+
+// --- endpoints ---
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) error {
+	var req queryRequest
+	if err := decode(r, &req); err != nil {
+		return finish(w, err)
+	}
+	if req.Theta == nil {
+		return finish(w, badRequest(errors.New("missing theta")))
+	}
+	theta := *req.Theta
+	if theta < 0 || theta > 1 {
+		return finish(w, badRequest(fmt.Errorf("theta %v out of [0,1]", theta)))
+	}
+	q, exclude, err := s.parseQuery(&req)
+	if err != nil {
+		return finish(w, err)
+	}
+	if err := s.checkQueryK(q); err != nil {
+		return finish(w, err)
+	}
+	k := s.idx.K()
+	if k == 0 {
+		return writeJSON(w, searchResponse{Hits: []shard.Neighbor{}})
+	}
+	maxDist := rankings.Threshold(theta, k)
+	return s.answer(r.Context(), w, shard.Query{R: q, MaxDist: maxDist, Exclude: exclude},
+		cacheKey("s", q, maxDist, exclude))
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
+	var req queryRequest
+	if err := decode(r, &req); err != nil {
+		return finish(w, err)
+	}
+	if req.K <= 0 {
+		return finish(w, badRequest(fmt.Errorf("k must be positive, got %d", req.K)))
+	}
+	q, exclude, err := s.parseQuery(&req)
+	if err != nil {
+		return finish(w, err)
+	}
+	if err := s.checkQueryK(q); err != nil {
+		return finish(w, err)
+	}
+	if s.idx.K() == 0 {
+		return writeJSON(w, searchResponse{Hits: []shard.Neighbor{}})
+	}
+	return s.answer(r.Context(), w, shard.Query{R: q, KNN: req.K, Exclude: exclude},
+		cacheKey("k", q, req.K, exclude))
+}
+
+// answer serves a query through the cache and, on a miss, the batcher.
+func (s *Server) answer(ctx context.Context, w http.ResponseWriter, q shard.Query, key string) error {
+	epochs := s.idx.Epochs()
+	if hits, ok := s.cache.get(key, epochs); ok {
+		return writeJSON(w, searchResponse{Hits: nonNil(hits), Cached: true})
+	}
+	hits, err := s.batch.do(ctx, q)
+	if err != nil {
+		return finish(w, err)
+	}
+	s.cache.put(key, epochs, hits)
+	return writeJSON(w, searchResponse{Hits: nonNil(hits)})
+}
+
+func nonNil(ns []shard.Neighbor) []shard.Neighbor {
+	if ns == nil {
+		return []shard.Neighbor{}
+	}
+	return ns
+}
+
+type insertRequest struct {
+	Rankings []rankingJSON `json:"rankings"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
+	var req insertRequest
+	if err := decode(r, &req); err != nil {
+		return finish(w, err)
+	}
+	if len(req.Rankings) == 0 {
+		return finish(w, badRequest(errors.New("missing rankings")))
+	}
+	tr := obs.NewTracer()
+	span := tr.StartScope("serve/insert", obs.Int("rankings", int64(len(req.Rankings))))
+	n := 0
+	for _, rj := range req.Rankings {
+		rk, err := rankings.New(rj.ID, rj.Items)
+		if err != nil {
+			span.End()
+			s.storeTrace(tr)
+			return finish(w, badRequest(err))
+		}
+		if err := s.idx.Insert(rk); err != nil {
+			span.End()
+			s.storeTrace(tr)
+			return finish(w, err)
+		}
+		n++
+	}
+	span.End()
+	s.storeTrace(tr)
+	return writeJSON(w, map[string]any{"inserted": n, "size": s.idx.Len()})
+}
+
+type deleteRequest struct {
+	IDs []int64 `json:"ids"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	var req deleteRequest
+	if err := decode(r, &req); err != nil {
+		return finish(w, err)
+	}
+	if len(req.IDs) == 0 {
+		return finish(w, badRequest(errors.New("missing ids")))
+	}
+	n := 0
+	for _, id := range req.IDs {
+		if s.idx.Delete(id) {
+			n++
+		}
+	}
+	return writeJSON(w, map[string]any{"deleted": n, "size": s.idx.Len()})
+}
+
+type joinRequest struct {
+	Rankings []rankingJSON `json:"rankings"`
+	Theta    *float64      `json:"theta"`
+}
+
+type pairJSON struct {
+	A    int64 `json:"a"`
+	B    int64 `json:"b"`
+	Dist int   `json:"dist"`
+}
+
+// handleJoin runs a small ad-hoc self-join over request-supplied
+// rankings — the "try the join on my data" path; heavy joins belong in
+// the offline pipelines (cmd/rankjoin).
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
+	var req joinRequest
+	if err := decode(r, &req); err != nil {
+		return finish(w, err)
+	}
+	if req.Theta == nil || *req.Theta < 0 || *req.Theta > 1 {
+		return finish(w, badRequest(errors.New("theta must be in [0,1]")))
+	}
+	if len(req.Rankings) == 0 {
+		return finish(w, badRequest(errors.New("missing rankings")))
+	}
+	if len(req.Rankings) > s.maxJoin {
+		return finish(w, &httpError{status: http.StatusRequestEntityTooLarge,
+			err: fmt.Errorf("ad-hoc join capped at %d rankings, got %d", s.maxJoin, len(req.Rankings))})
+	}
+	rs := make([]*rankings.Ranking, 0, len(req.Rankings))
+	k := 0
+	for _, rj := range req.Rankings {
+		rk, err := rankings.New(rj.ID, rj.Items)
+		if err != nil {
+			return finish(w, badRequest(err))
+		}
+		if k == 0 {
+			k = rk.K()
+		} else if rk.K() != k {
+			return finish(w, badRequest(fmt.Errorf("mixed ranking lengths %d and %d", k, rk.K())))
+		}
+		rk.Index()
+		rs = append(rs, rk)
+	}
+	tr := obs.NewTracer()
+	span := tr.StartScope("serve/join", obs.Int("rankings", int64(len(rs))))
+	var st ppjoin.Stats
+	pairs := ppjoin.BruteForce(rs, rankings.Threshold(*req.Theta, k), &st)
+	pairs = rankings.DedupPairs(pairs)
+	span.SetInt("pairs", int64(len(pairs)))
+	span.End()
+	s.storeTrace(tr)
+	out := make([]pairJSON, len(pairs))
+	for i, p := range pairs {
+		out[i] = pairJSON{A: p.A, B: p.B, Dist: p.Dist}
+	}
+	return writeJSON(w, map[string]any{"pairs": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, err := w.Write([]byte("ok\n"))
+	return err
+}
+
+// Status is the /statusz document; also returned by Status() for
+// in-process consumers (expvar publishing, tests).
+type Status struct {
+	UptimeSeconds float64                   `json:"uptime_s"`
+	K             int                       `json:"k"`
+	Size          int                       `json:"size"`
+	Shards        []shard.Stats             `json:"shards"`
+	ShardSizes    string                    `json:"shard_sizes"`
+	Filters       obs.FiltersSnapshot       `json:"filters"`
+	Cache         CacheStatus               `json:"cache"`
+	Batch         BatchStatus               `json:"batch"`
+	Requests      map[string]EndpointStatus `json:"requests"`
+	LastTrace     TraceStatus               `json:"last_trace"`
+}
+
+// CacheStatus summarizes the query cache.
+type CacheStatus struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+}
+
+// BatchStatus summarizes request coalescing.
+type BatchStatus struct {
+	Sweeps    int64 `json:"sweeps"`
+	Coalesced int64 `json:"coalesced_requests"`
+	MaxBatch  int   `json:"max_batch"`
+	P50Size   int64 `json:"p50_size"`
+	MaxSize   int64 `json:"max_size"`
+}
+
+// EndpointStatus summarizes one endpoint's traffic.
+type EndpointStatus struct {
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	P50us  int64 `json:"p50_us"`
+	P99us  int64 `json:"p99_us"`
+	Maxus  int64 `json:"max_us"`
+}
+
+// TraceStatus reports on the most recent request/sweep trace.
+type TraceStatus struct {
+	Present bool   `json:"present"`
+	Valid   bool   `json:"valid"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Status assembles the current server status.
+func (s *Server) Status() Status {
+	shardStats := s.idx.Stats()
+	var sizes obs.Histogram
+	for _, st := range shardStats {
+		sizes.Observe(int64(st.Size))
+	}
+	hits, misses := s.cache.stats()
+	batchSnap := s.batch.batchSizes.Snapshot()
+	st := Status{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		K:             s.idx.K(),
+		Size:          s.idx.Len(),
+		Shards:        shardStats,
+		ShardSizes:    sizes.Snapshot().String(),
+		Filters:       s.idx.Filters().Snapshot(),
+		Cache: CacheStatus{
+			Hits: hits, Misses: misses,
+			Entries: s.cache.len(), Capacity: s.cache.capacity(),
+		},
+		Batch: BatchStatus{
+			Sweeps:    s.batch.sweeps.Load(),
+			Coalesced: s.batch.coalesced.Load(),
+			MaxBatch:  s.batch.maxBatch,
+			P50Size:   batchSnap.Quantile(0.50),
+			MaxSize:   batchSnap.Max,
+		},
+		Requests: make(map[string]EndpointStatus, len(s.requests)),
+	}
+	for path, es := range s.requests {
+		es.mu.Lock()
+		count, errs := es.count, es.errors
+		es.mu.Unlock()
+		lat := es.latency.Snapshot()
+		st.Requests[path] = EndpointStatus{
+			Count: count, Errors: errs,
+			P50us: lat.Quantile(0.50), P99us: lat.Quantile(0.99), Maxus: lat.Max,
+		}
+	}
+	s.traceMu.Lock()
+	tr := s.lastTrace
+	s.traceMu.Unlock()
+	if tr != nil {
+		st.LastTrace.Present = true
+		if err := tr.Validate(); err != nil {
+			st.LastTrace.Error = err.Error()
+		} else {
+			st.LastTrace.Valid = true
+		}
+	}
+	return st
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, s.Status())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) error {
+	s.traceMu.Lock()
+	tr := s.lastTrace
+	s.traceMu.Unlock()
+	if tr == nil {
+		return finish(w, &httpError{status: http.StatusNotFound,
+			err: errors.New("no request traced yet")})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return tr.WriteChromeTrace(w)
+}

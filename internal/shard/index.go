@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"rankjoin/internal/obs"
+	"rankjoin/internal/rankings"
+)
+
+// Config sizes a sharded index.
+type Config struct {
+	// Shards is the number of index partitions (default 8). More shards
+	// mean finer write locking and more fan-out parallelism per query.
+	Shards int
+	// PivotsPerShard is the pivot-table width (default 8).
+	PivotsPerShard int
+	// Seed drives pivot selection; shards derive distinct streams.
+	Seed int64
+}
+
+// Index is the sharded dynamic metric index: rankings are routed to
+// shards by hashed id, every shard is independently mutable and
+// searchable, and queries fan out across all shards with the results
+// merged through a bounded heap. All methods are safe for concurrent
+// use.
+type Index struct {
+	shards  []*Shard
+	filters obs.FilterCounters
+
+	mu sync.RWMutex
+	k  int // established ranking length; 0 until the first insert
+}
+
+// New builds an empty index.
+func New(cfg Config) *Index {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.PivotsPerShard <= 0 {
+		cfg.PivotsPerShard = 8
+	}
+	x := &Index{shards: make([]*Shard, cfg.Shards)}
+	for i := range x.shards {
+		x.shards[i] = newShard(cfg.PivotsPerShard, cfg.Seed+int64(i)*7_919)
+	}
+	return x
+}
+
+// splitmix64 scrambles ids into shard choices; sequential ids (the
+// common case for datasets numbered by line) must not all land on the
+// same shard, and id%shards would stripe deletes and hot ids unevenly
+// for clustered id spaces.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (x *Index) shardFor(id int64) *Shard {
+	return x.shards[splitmix64(uint64(id))%uint64(len(x.shards))]
+}
+
+// NumShards returns the shard count.
+func (x *Index) NumShards() int { return len(x.shards) }
+
+// K returns the established ranking length (0 while the index has
+// never been inserted into). The first insert fixes k for the lifetime
+// of the index, mirroring the paper's fixed-length datasets.
+func (x *Index) K() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.k
+}
+
+func (x *Index) ensureK(k int) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.k == 0 {
+		x.k = k
+		return nil
+	}
+	if x.k != k {
+		return fmt.Errorf("%w: index k=%d, got k=%d", ErrKMismatch, x.k, k)
+	}
+	return nil
+}
+
+func (x *Index) checkQuery(q *rankings.Ranking) error {
+	if q == nil {
+		return ErrNilRanking
+	}
+	x.mu.RLock()
+	k := x.k
+	x.mu.RUnlock()
+	if k != 0 && q.K() != k {
+		return fmt.Errorf("%w: index k=%d, query k=%d", ErrKMismatch, k, q.K())
+	}
+	return nil
+}
+
+// Insert adds r (upsert by id), building its position index if needed.
+func (x *Index) Insert(r *rankings.Ranking) error {
+	if r == nil {
+		return ErrNilRanking
+	}
+	if err := x.ensureK(r.K()); err != nil {
+		return err
+	}
+	r.Index()
+	x.shardFor(r.ID).Insert(r)
+	return nil
+}
+
+// Delete removes the ranking with the given id, reporting presence.
+func (x *Index) Delete(id int64) bool { return x.shardFor(id).Delete(id) }
+
+// Get returns the indexed ranking with the given id.
+func (x *Index) Get(id int64) (*rankings.Ranking, bool) { return x.shardFor(id).Get(id) }
+
+// Len returns the total number of indexed rankings.
+func (x *Index) Len() int {
+	n := 0
+	for _, s := range x.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Epochs returns the per-shard mutation epochs — the cache-invalidation
+// vector: any entry differing from a previously observed vector means
+// that shard's contents may have changed.
+func (x *Index) Epochs() []uint64 {
+	es := make([]uint64, len(x.shards))
+	for i, s := range x.shards {
+		es[i] = s.Epoch()
+	}
+	return es
+}
+
+// Snapshot returns all indexed rankings along with the per-shard
+// epochs they were read at. Each shard's slice is internally
+// epoch-consistent; the index-wide union is the concatenation of one
+// consistent snapshot per shard.
+func (x *Index) Snapshot() ([]*rankings.Ranking, []uint64) {
+	var rs []*rankings.Ranking
+	es := make([]uint64, len(x.shards))
+	for i, s := range x.shards {
+		part, e := s.Snapshot()
+		rs = append(rs, part...)
+		es[i] = e
+	}
+	return rs, es
+}
+
+// Filters exposes the index's pivot-pruning counters (Generated =
+// PrunedTriangle + Verified across all sweeps; Emitted counts hits).
+func (x *Index) Filters() *obs.FilterCounters { return &x.filters }
+
+// Stats returns per-shard statistics in shard order.
+func (x *Index) Stats() []Stats {
+	out := make([]Stats, len(x.shards))
+	for i, s := range x.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Search returns every indexed ranking within maxDist of q (excluding
+// the indexed ranking whose id equals exclude; pass NoExclude to keep
+// everything), sorted ascending by (dist, id).
+func (x *Index) Search(q *rankings.Ranking, maxDist int, exclude int64) ([]Neighbor, error) {
+	res, err := x.SearchBatch([]Query{{R: q, MaxDist: maxDist, Exclude: exclude}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// KNN returns the n indexed rankings closest to q (self-exclusion as
+// in Search), sorted ascending by (dist, id).
+func (x *Index) KNN(q *rankings.Ranking, n int, exclude int64) ([]Neighbor, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: knn n must be positive, got %d", n)
+	}
+	res, err := x.SearchBatch([]Query{{R: q, KNN: n, Exclude: exclude}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// SearchBatch answers a batch of queries in one fan-out sweep: every
+// shard is visited exactly once (one RLock, all queries), shards run
+// concurrently, and per-shard partial results are merged per query —
+// concatenation for range queries, a bounded heap for kNN. The span,
+// when non-nil, receives one task child per shard. This is the
+// coalescing primitive the server's request batcher drives.
+func (x *Index) SearchBatch(qs []Query, span *obs.Span) ([][]Neighbor, error) {
+	for i := range qs {
+		if err := x.checkQuery(qs[i].R); err != nil {
+			return nil, err
+		}
+		// Index once, before the fan-out shares the query across
+		// goroutines (Ranking.Index is not concurrency-safe).
+		qs[i].R.Index()
+	}
+	perShard := make([][][]Neighbor, len(x.shards))
+	deltas := make([]obs.FilterDelta, len(x.shards))
+	var wg sync.WaitGroup
+	for i, s := range x.shards {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			t := span.StartTask(fmt.Sprintf("shard/%d", i), obs.Int("size", int64(s.Len())))
+			perShard[i], deltas[i] = s.sweep(qs)
+			t.SetInt("hits", int64(countNeighbors(perShard[i])))
+			t.End()
+		}(i, s)
+	}
+	wg.Wait()
+	for _, d := range deltas {
+		x.filters.Add(d)
+	}
+	out := make([][]Neighbor, len(qs))
+	lists := make([][]Neighbor, len(x.shards))
+	for qi := range qs {
+		for i := range x.shards {
+			lists[i] = perShard[i][qi]
+		}
+		if n := qs[qi].KNN; n > 0 {
+			out[qi] = mergeKNN(lists, n)
+		} else {
+			// Range results merge by concatenation; the heap with cap =
+			// total just re-sorts them into (dist, id) order.
+			out[qi] = mergeKNN(lists, countNeighbors(lists))
+		}
+	}
+	return out, nil
+}
+
+func countNeighbors(lists [][]Neighbor) int {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	return n
+}

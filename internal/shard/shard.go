@@ -1,0 +1,419 @@
+// Package shard implements the online serving index: a sharded,
+// dynamically updatable metric index over top-k rankings. Where
+// metricspace.PivotIndex is built once over a frozen dataset, this
+// package keeps per-shard LAESA-style pivot tables that absorb
+// Insert/Delete traffic under an RWMutex, answer range and kNN queries
+// with triangle-inequality pruning, and re-pivot themselves in the
+// background when churn (or a collapsed prune rate) degrades pruning
+// power — the serving-side counterpart of the error-bounded pivot
+// selection literature: pruning only stays effective while the pivots
+// still describe the data.
+//
+// Every mutation bumps the owning shard's epoch. Epochs order nothing
+// across shards; they exist so snapshots are verifiable (same epoch ⇒
+// same contents) and so query caches can be invalidated per shard
+// without a global generation counter.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"rankjoin/internal/filters"
+	"rankjoin/internal/obs"
+	"rankjoin/internal/rankings"
+)
+
+// ErrKMismatch reports an inserted or queried ranking whose length
+// differs from the index's established k.
+var ErrKMismatch = errors.New("shard: ranking length does not match index k")
+
+// ErrNilRanking reports a nil ranking handed to Insert or a query.
+var ErrNilRanking = errors.New("shard: nil ranking")
+
+// NoExclude is the Query.Exclude sentinel meaning "exclude nothing" —
+// used for ad-hoc queries that are not themselves indexed.
+const NoExclude int64 = math.MinInt64
+
+// Neighbor is one search hit: the indexed ranking's id and its
+// unnormalized Footrule distance to the query.
+type Neighbor struct {
+	ID   int64 `json:"id"`
+	Dist int   `json:"dist"`
+}
+
+// Query is one unit of a shard sweep. KNN > 0 selects top-KNN mode
+// (MaxDist is ignored); otherwise MaxDist is the inclusive range
+// threshold. Exclude drops the indexed ranking with that id from the
+// results (pass NoExclude to keep everything).
+type Query struct {
+	R       *rankings.Ranking
+	MaxDist int
+	KNN     int
+	Exclude int64
+}
+
+// entry is one indexed ranking with its precomputed pivot distances.
+type entry struct {
+	r  *rankings.Ranking
+	pd []int32 // pd[p] = Footrule(r, pivots[p])
+}
+
+// Shard is one RWMutex-guarded partition of the index. All exported
+// methods are safe for concurrent use.
+type Shard struct {
+	numPivots int
+	seed      int64
+
+	mu      sync.RWMutex
+	pivots  []*rankings.Ranking
+	entries []entry
+	byID    map[int64]int
+	churn   int // mutations since the pivot set was last chosen
+
+	// epoch is written under mu and read either under mu (consistent
+	// snapshots) or raw (cache tags, which only need monotonicity).
+	epoch atomic.Uint64
+
+	// rePivots counts completed re-pivot passes; repivoting serializes
+	// background rebuilds. scanned/pruned track pruning power since the
+	// last re-pivot and are updated lock-free from search sweeps.
+	rePivots   atomic.Int64
+	repivoting atomic.Bool
+	scanned    atomic.Int64
+	pruned     atomic.Int64
+}
+
+func newShard(numPivots int, seed int64) *Shard {
+	return &Shard{
+		numPivots: numPivots,
+		seed:      seed,
+		byID:      make(map[int64]int),
+	}
+}
+
+// pivotRow computes a ranking's distances to the given pivots.
+func pivotRow(r *rankings.Ranking, pivots []*rankings.Ranking) []int32 {
+	if len(pivots) == 0 {
+		return nil
+	}
+	row := make([]int32, len(pivots))
+	for p, piv := range pivots {
+		row[p] = int32(rankings.Footrule(r, piv))
+	}
+	return row
+}
+
+// Insert adds r to the shard, replacing any previous ranking with the
+// same id (upsert). The caller must have built r's position index
+// (Ranking.Index) before handing it over; Index-level Insert does.
+func (s *Shard) Insert(r *rankings.Ranking) {
+	s.mu.Lock()
+	e := entry{r: r, pd: pivotRow(r, s.pivots)}
+	if i, ok := s.byID[r.ID]; ok {
+		s.entries[i] = e
+	} else {
+		s.byID[r.ID] = len(s.entries)
+		s.entries = append(s.entries, e)
+	}
+	s.churn++
+	s.epoch.Add(1)
+	due := s.rePivotDueLocked()
+	s.mu.Unlock()
+	if due {
+		s.triggerRePivot()
+	}
+}
+
+// Delete removes the ranking with the given id, reporting whether it
+// was present.
+func (s *Shard) Delete(id int64) bool {
+	s.mu.Lock()
+	i, ok := s.byID[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	last := len(s.entries) - 1
+	moved := s.entries[last]
+	s.entries[last] = entry{}
+	s.entries = s.entries[:last]
+	delete(s.byID, id)
+	if i != last {
+		s.entries[i] = moved
+		s.byID[moved.r.ID] = i
+	}
+	s.churn++
+	s.epoch.Add(1)
+	due := s.rePivotDueLocked()
+	s.mu.Unlock()
+	if due {
+		s.triggerRePivot()
+	}
+	return true
+}
+
+// Get returns the indexed ranking with the given id.
+func (s *Shard) Get(id int64) (*rankings.Ranking, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i, ok := s.byID[id]; ok {
+		return s.entries[i].r, true
+	}
+	return nil, false
+}
+
+// Len returns the number of indexed rankings.
+func (s *Shard) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Epoch returns the shard's mutation epoch. It increases on every
+// Insert, Delete and completed re-pivot.
+func (s *Shard) Epoch() uint64 { return s.epoch.Load() }
+
+// Snapshot returns the indexed rankings together with the epoch they
+// were read at: two snapshots carrying the same epoch hold exactly the
+// same rankings. The returned slice is private to the caller; the
+// rankings themselves are shared and must be treated as immutable.
+func (s *Shard) Snapshot() ([]*rankings.Ranking, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rs := make([]*rankings.Ranking, len(s.entries))
+	for i := range s.entries {
+		rs[i] = s.entries[i].r
+	}
+	return rs, s.epoch.Load()
+}
+
+// Stats is a point-in-time description of one shard for /statusz.
+type Stats struct {
+	Size     int    `json:"size"`
+	Epoch    uint64 `json:"epoch"`
+	Pivots   int    `json:"pivots"`
+	Churn    int    `json:"churn"`
+	RePivots int64  `json:"re_pivots"`
+}
+
+// Stats returns the shard's current statistics.
+func (s *Shard) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Size:     len(s.entries),
+		Epoch:    s.epoch.Load(),
+		Pivots:   len(s.pivots),
+		Churn:    s.churn,
+		RePivots: s.rePivots.Load(),
+	}
+}
+
+// Re-pivot policy. Below minRePivotSize a linear scan is cheaper than
+// any pivot table, so tiny shards never re-pivot. Otherwise a rebuild
+// is due when the pivot set has never been chosen, when churn since the
+// last selection exceeds half the population, or when the observed
+// prune rate has collapsed (lots of scanning, almost nothing pruned —
+// the pivots no longer describe the data).
+const (
+	minRePivotSize = 16
+	minPruneRate   = 0.05
+)
+
+func (s *Shard) rePivotDueLocked() bool {
+	n := len(s.entries)
+	if n < minRePivotSize {
+		return false
+	}
+	if len(s.pivots) == 0 {
+		return true
+	}
+	return s.churn*2 >= n
+}
+
+// notePruning folds one sweep's pruning observations in and reports
+// whether the prune rate collapsed badly enough to warrant a re-pivot.
+func (s *Shard) notePruning(scanned, pruned int64) bool {
+	if scanned == 0 {
+		return false
+	}
+	sc := s.scanned.Add(scanned)
+	pr := s.pruned.Add(pruned)
+	s.mu.RLock()
+	n, havePivots := len(s.entries), len(s.pivots) > 0
+	s.mu.RUnlock()
+	if !havePivots || n < minRePivotSize {
+		return false
+	}
+	// Only judge the rate after several full sweeps' worth of evidence.
+	if sc < int64(8*n) {
+		return false
+	}
+	return float64(pr) < minPruneRate*float64(sc)
+}
+
+// triggerRePivot starts a background re-pivot unless one is already
+// running.
+func (s *Shard) triggerRePivot() {
+	if s.repivoting.CompareAndSwap(false, true) {
+		go s.rePivot()
+	}
+}
+
+// rePivot rebuilds the pivot table: snapshot the members under RLock,
+// choose fresh pivots and compute the distance table without holding
+// any lock, then apply under the write lock — recomputing rows only
+// for rankings that were inserted or replaced while the rebuild ran.
+func (s *Shard) rePivot() {
+	defer s.repivoting.Store(false)
+	s.mu.RLock()
+	n := len(s.entries)
+	if n == 0 {
+		s.mu.RUnlock()
+		return
+	}
+	members := make([]*rankings.Ranking, n)
+	for i := range s.entries {
+		members[i] = s.entries[i].r
+	}
+	round := s.rePivots.Load()
+	s.mu.RUnlock()
+
+	np := s.numPivots
+	if np > n {
+		np = n
+	}
+	rng := rand.New(rand.NewSource(s.seed + (round+1)*1_000_003 + int64(n)))
+	perm := rng.Perm(n)
+	pivots := make([]*rankings.Ranking, np)
+	for i := 0; i < np; i++ {
+		pivots[i] = members[perm[i]]
+	}
+	// Rows are keyed by ranking pointer, not id: an id re-inserted with
+	// different items during the rebuild must not inherit a stale row.
+	rows := make(map[*rankings.Ranking][]int32, n)
+	for _, r := range members {
+		rows[r] = pivotRow(r, pivots)
+	}
+
+	s.mu.Lock()
+	s.pivots = pivots
+	for i := range s.entries {
+		e := &s.entries[i]
+		if row, ok := rows[e.r]; ok {
+			e.pd = row
+		} else {
+			e.pd = pivotRow(e.r, pivots)
+		}
+	}
+	s.churn = 0
+	s.scanned.Store(0)
+	s.pruned.Store(0)
+	s.rePivots.Add(1)
+	// A re-pivot changes no result set, but bumping the epoch keeps the
+	// invariant simple: equal epochs always mean byte-identical state.
+	s.epoch.Add(1)
+	s.mu.Unlock()
+}
+
+// sweep answers a batch of queries under a single RLock acquisition —
+// the unit the server's request coalescing amortizes. It returns the
+// per-query neighbor lists and the filter accounting of the whole
+// sweep (Generated = PrunedTriangle + Verified; Emitted counts hits).
+func (s *Shard) sweep(qs []Query) ([][]Neighbor, obs.FilterDelta) {
+	out := make([][]Neighbor, len(qs))
+	var d obs.FilterDelta
+	s.mu.RLock()
+	for qi := range qs {
+		q := &qs[qi]
+		qd := pivotRow(q.R, s.pivots)
+		if q.KNN > 0 {
+			out[qi] = s.knnLocked(q, qd, &d)
+		} else {
+			out[qi] = s.rangeLocked(q, qd, &d)
+		}
+	}
+	s.mu.RUnlock()
+	if s.notePruning(d.Generated, d.PrunedTriangle) {
+		s.triggerRePivot()
+	}
+	return out, d
+}
+
+// rangeLocked scans the shard for rankings within q.MaxDist, pruning
+// with every pivot's triangle lower bound before verifying.
+func (s *Shard) rangeLocked(q *Query, qd []int32, d *obs.FilterDelta) []Neighbor {
+	var hits []Neighbor
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.r.ID == q.Exclude {
+			continue
+		}
+		d.Generated++
+		pruned := false
+		for p := range qd {
+			if filters.TrianglePrune(int(qd[p]), int(e.pd[p]), q.MaxDist) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			d.PrunedTriangle++
+			continue
+		}
+		d.Verified++
+		if dist, ok := rankings.FootruleWithin(q.R, e.r, q.MaxDist); ok {
+			d.Emitted++
+			hits = append(hits, Neighbor{ID: e.r.ID, Dist: dist})
+		}
+	}
+	return hits
+}
+
+// knnLocked scans the shard for the q.KNN nearest rankings through a
+// bounded max-heap; once the heap is full the current worst distance
+// tightens both the triangle prune and the verification bound.
+func (s *Shard) knnLocked(q *Query, qd []int32, d *obs.FilterDelta) []Neighbor {
+	h := newResultHeap(q.KNN)
+	maxDist := rankings.MaxFootrule(q.R.K())
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.r.ID == q.Exclude {
+			continue
+		}
+		d.Generated++
+		bound := maxDist
+		if h.full() {
+			// Only a strictly closer ranking can displace the worst.
+			bound = h.worst() - 1
+		}
+		pruned := false
+		for p := range qd {
+			if filters.TrianglePrune(int(qd[p]), int(e.pd[p]), bound) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			d.PrunedTriangle++
+			continue
+		}
+		d.Verified++
+		if dist, ok := rankings.FootruleWithin(q.R, e.r, bound); ok {
+			d.Emitted++
+			h.push(Neighbor{ID: e.r.ID, Dist: dist})
+		}
+	}
+	return h.sorted()
+}
+
+func (s *Shard) String() string {
+	st := s.Stats()
+	return fmt.Sprintf("shard{size=%d epoch=%d pivots=%d churn=%d rePivots=%d}",
+		st.Size, st.Epoch, st.Pivots, st.Churn, st.RePivots)
+}

@@ -1,6 +1,9 @@
 package rankjoin
 
 import (
+	"errors"
+	"fmt"
+
 	"rankjoin/internal/metricspace"
 	"rankjoin/internal/rankings"
 )
@@ -10,6 +13,26 @@ import (
 // algorithms use Footrule (a metric with known prefix bounds); tau is
 // exposed for applications that want to re-rank or inspect results.
 func KendallTau(a, b *Ranking) int { return rankings.KendallTau(a, b) }
+
+// Errors reported by the search indexes.
+var (
+	// ErrEmptyIndex reports an attempt to build an index over zero
+	// rankings. An empty index cannot fix the ranking length k, so
+	// every later query would be unanswerable; fail at build time.
+	ErrEmptyIndex = errors.New("rankjoin: cannot index an empty dataset")
+
+	// ErrNilQuery reports a nil query ranking.
+	ErrNilQuery = errors.New("rankjoin: nil query ranking")
+
+	// ErrQueryLength reports a query whose length differs from the
+	// indexed rankings' (Footrule thresholds are only comparable
+	// between rankings of equal k).
+	ErrQueryLength = errors.New("rankjoin: query length does not match indexed rankings")
+
+	// ErrThetaRange reports a normalized distance threshold outside
+	// [0, 1].
+	ErrThetaRange = errors.New("rankjoin: theta must be in [0, 1]")
+)
 
 // Index is a metric range-search index over a ranking dataset: pivot
 // distances are precomputed so that range queries prune most of the
@@ -23,8 +46,12 @@ type Index struct {
 
 // BuildIndex indexes the dataset with the given number of pivots
 // (8–16 is a good range; more pivots prune better but cost more per
-// query).
+// query). The dataset must be non-empty (ErrEmptyIndex otherwise) and
+// uniform-length.
 func BuildIndex(rs []*Ranking, numPivots int) (*Index, error) {
+	if len(rs) == 0 {
+		return nil, ErrEmptyIndex
+	}
 	if err := checkUniform(rs); err != nil {
 		return nil, err
 	}
@@ -32,21 +59,25 @@ func BuildIndex(rs []*Ranking, numPivots int) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	k := 0
-	if len(rs) > 0 {
-		k = rs[0].K()
-	}
-	return &Index{idx: idx, k: k}, nil
+	return &Index{idx: idx, k: rs[0].K()}, nil
 }
 
 // Search returns every indexed ranking within normalized Footrule
 // distance theta of the query (excluding the query itself when it is
-// indexed, matched by id), as canonical pairs.
-func (x *Index) Search(q *Ranking, theta float64) []Pair {
-	if x.k == 0 {
-		return nil
+// indexed, matched by id), as canonical pairs sorted by (distance,
+// ids). The query must have the indexed length (ErrQueryLength) and
+// theta must lie in [0, 1] (ErrThetaRange).
+func (x *Index) Search(q *Ranking, theta float64) ([]Pair, error) {
+	if q == nil {
+		return nil, ErrNilQuery
+	}
+	if q.K() != x.k {
+		return nil, fmt.Errorf("%w: query has %d items, index has %d", ErrQueryLength, q.K(), x.k)
+	}
+	if theta < 0 || theta > 1 {
+		return nil, fmt.Errorf("%w: got %g", ErrThetaRange, theta)
 	}
 	hits, _ := x.idx.RangeSearch(q, rankings.Threshold(theta, x.k))
 	rankings.SortPairs(hits)
-	return hits
+	return hits, nil
 }

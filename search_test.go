@@ -1,6 +1,7 @@
 package rankjoin_test
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -37,7 +38,10 @@ func TestIndexSearchMatchesJoinNeighbors(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range rs {
-		hits := idx.Search(q, theta)
+		hits, err := idx.Search(q, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(hits) != neighbors[q.ID] {
 			t.Fatalf("query %d: %d hits, join says %d", q.ID, len(hits), neighbors[q.ID])
 		}
@@ -50,7 +54,14 @@ func TestIndexSearchMatchesJoinNeighbors(t *testing.T) {
 }
 
 func TestBuildIndexValidation(t *testing.T) {
-	if _, err := rankjoin.BuildIndex(nil, 0); err == nil {
+	if _, err := rankjoin.BuildIndex(nil, 2); !errors.Is(err, rankjoin.ErrEmptyIndex) {
+		t.Errorf("empty dataset: err = %v, want ErrEmptyIndex", err)
+	}
+	if _, err := rankjoin.BuildIndex([]*rankjoin.Ranking{}, 2); !errors.Is(err, rankjoin.ErrEmptyIndex) {
+		t.Errorf("empty slice: err = %v, want ErrEmptyIndex", err)
+	}
+	one := []*rankjoin.Ranking{rankings.MustNew(0, []rankings.Item{1, 2, 3})}
+	if _, err := rankjoin.BuildIndex(one, 0); err == nil {
 		t.Error("zero pivots accepted")
 	}
 	mixed := []*rankjoin.Ranking{
@@ -59,6 +70,38 @@ func TestBuildIndexValidation(t *testing.T) {
 	}
 	if _, err := rankjoin.BuildIndex(mixed, 2); err == nil {
 		t.Error("mixed lengths accepted")
+	}
+}
+
+// TestSearchValidation: the query-time edge cases must surface as typed
+// errors, not silently-empty results.
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	rs := testutil.RandDataset(rng, 10, 5, 30)
+	idx, err := rankjoin.BuildIndex(rs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Search(nil, 0.2); !errors.Is(err, rankjoin.ErrNilQuery) {
+		t.Errorf("nil query: err = %v, want ErrNilQuery", err)
+	}
+	short := rankings.MustNew(99, []rankings.Item{1, 2})
+	if _, err := idx.Search(short, 0.2); !errors.Is(err, rankjoin.ErrQueryLength) {
+		t.Errorf("short query: err = %v, want ErrQueryLength", err)
+	}
+	q := rs[0]
+	for _, theta := range []float64{-0.1, 1.5} {
+		if _, err := idx.Search(q, theta); !errors.Is(err, rankjoin.ErrThetaRange) {
+			t.Errorf("theta %g: err = %v, want ErrThetaRange", theta, err)
+		}
+	}
+	// Boundary thetas are legal: 0 keeps only exact duplicates, 1
+	// keeps everything.
+	if hits, err := idx.Search(q, 0); err != nil || len(hits) != 0 {
+		t.Errorf("theta 0: hits %v err %v, want none", hits, err)
+	}
+	if hits, err := idx.Search(q, 1); err != nil || len(hits) != len(rs)-1 {
+		t.Errorf("theta 1: %d hits err %v, want %d", len(hits), err, len(rs)-1)
 	}
 }
 
