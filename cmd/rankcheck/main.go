@@ -1,0 +1,151 @@
+// Command rankcheck is the differential correctness harness: it
+// generates seeded adversarial datasets, runs every join path — the
+// brute-force oracle, VJ, VJ-NL, CL, CL-P, FS-Join, V-SMART, the R-S
+// join, and the sharded dynamic index under churn — and diffs the
+// result sets pair by pair, along with metamorphic properties
+// (threshold monotonicity, metric axioms, id-permutation invariance,
+// filter-counter conservation).
+//
+// Usage:
+//
+//	rankcheck [-seeds N] [-seed S] [-paths p1,p2] [-repro-dir DIR]
+//	          [-replay FILE ...] [-v]
+//
+// Without -replay, rankcheck sweeps seeds [S, S+N) and exits 1 if any
+// trial diverges; each failing trial is shrunk to a minimal reproducer
+// and written under -repro-dir. With -replay, the named reproducer
+// files are re-run instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rankjoin/internal/check"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rankcheck: ")
+
+	var (
+		seeds    = flag.Int("seeds", 100, "number of consecutive seeds to sweep")
+		seed     = flag.Int64("seed", 1, "first seed of the sweep")
+		paths    = flag.String("paths", "", "comma-separated path subset (default all): "+strings.Join(check.AllPaths, ","))
+		reproDir = flag.String("repro-dir", "results/repro", "directory for shrunk reproducer files")
+		noShrink = flag.Bool("no-shrink", false, "report divergences without shrinking or saving reproducers")
+		verbose  = flag.Bool("v", false, "log every trial, not just failures")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: rankcheck [flags] | rankcheck -replay file.repro ...\n")
+		flag.PrintDefaults()
+	}
+	replay := flag.Bool("replay", false, "treat positional arguments as reproducer files to re-run")
+	flag.Parse()
+
+	enabled, err := pathFilter(*paths)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *replay {
+		if flag.NArg() == 0 {
+			log.Fatal("-replay requires at least one reproducer file")
+		}
+		os.Exit(replayFiles(flag.Args(), enabled))
+	}
+
+	failures := 0
+	for s := *seed; s < *seed+int64(*seeds); s++ {
+		p, rs := check.Generate(s)
+		divs := check.RunTrial(p, rs, enabled)
+		if len(divs) == 0 {
+			if *verbose {
+				log.Printf("seed %d ok (profile=%s k=%d n=%d θ=%.4g)", s, p.Profile, p.K, len(rs), p.Theta)
+			}
+			continue
+		}
+		failures++
+		log.Printf("seed %d DIVERGED (profile=%s k=%d n=%d θ=%.4g):", s, p.Profile, p.K, len(rs), p.Theta)
+		for _, d := range divs {
+			log.Printf("  %s", d)
+		}
+		if *noShrink {
+			continue
+		}
+		small, div := check.Shrink(p, rs, divs[0])
+		path, err := check.SaveRepro(*reproDir, p, small, []check.Divergence{div})
+		if err != nil {
+			log.Printf("  repro save failed: %v", err)
+			continue
+		}
+		log.Printf("  shrunk %d -> %d rankings; reproducer: %s", len(rs), len(small), path)
+	}
+	if failures > 0 {
+		log.Printf("%d of %d seeds diverged", failures, *seeds)
+		os.Exit(1)
+	}
+	fmt.Printf("rankcheck: %d seeds, 0 divergences\n", *seeds)
+}
+
+// replayFiles re-runs reproducer files and returns the process exit
+// code: 0 when every file is clean, 1 when any still diverges.
+func replayFiles(files []string, enabled func(string) bool) int {
+	code := 0
+	for _, file := range files {
+		p, rs, err := check.LoadRepro(file)
+		if err != nil {
+			log.Print(err)
+			code = 1
+			continue
+		}
+		divs := check.RunTrial(p, rs, enabled)
+		if len(divs) == 0 {
+			fmt.Printf("%s: ok (%d rankings)\n", file, len(rs))
+			continue
+		}
+		code = 1
+		log.Printf("%s: still diverging:", file)
+		for _, d := range divs {
+			log.Printf("  %s", d)
+		}
+	}
+	return code
+}
+
+// pathFilter parses the -paths flag into an enabled predicate.
+func pathFilter(spec string) (func(string) bool, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool, len(check.AllPaths))
+	for _, p := range check.AllPaths {
+		known[p] = true
+	}
+	want := make(map[string]bool)
+	for _, p := range strings.Split(spec, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !known[p] {
+			return nil, fmt.Errorf("unknown path %q (known: %s)", p, strings.Join(check.AllPaths, ","))
+		}
+		want[p] = true
+	}
+	// Self-join paths diff against the oracle, so asking for any of
+	// them implies the oracle runs too.
+	if len(want) > 0 && !want[check.PathBrute] {
+		for p := range want {
+			if p != check.PathJoinRS && p != check.PathShard {
+				want[check.PathBrute] = true
+				break
+			}
+		}
+	}
+	return func(p string) bool { return want[p] }, nil
+}

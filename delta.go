@@ -10,6 +10,8 @@ import (
 // dataset statistics via the paper's Equation 4: the expected
 // posting-list length under the fitted Zipf skew of the prefix
 // vocabulary, scaled up so only genuinely skew-inflated lists split.
+// The caller must have validated the dataset uniform-length (the
+// prefix size computed from rs[0].K() is meaningless otherwise).
 func suggestDelta(rs []*Ranking, theta float64) int {
 	if len(rs) == 0 {
 		return 16
@@ -25,5 +27,17 @@ func suggestDelta(rs []*Ranking, theta float64) int {
 }
 
 // SuggestDelta exposes the Equation 4 guidance for choosing the CL-P
-// partitioning threshold δ for a dataset and join threshold.
-func SuggestDelta(rs []*Ranking, theta float64) int { return suggestDelta(rs, theta) }
+// partitioning threshold δ for a dataset and join threshold. The
+// dataset must be uniform-length (ErrMixedLengths otherwise): the
+// estimate keys off the prefix size for rs[0]'s k, and a mixed-length
+// dataset would silently produce a nonsense δ for every other length.
+// Theta must lie in [0, 1] (ErrThetaRange).
+func SuggestDelta(rs []*Ranking, theta float64) (int, error) {
+	if theta < 0 || theta > 1 {
+		return 0, ErrThetaRange
+	}
+	if err := checkUniform(rs); err != nil {
+		return 0, err
+	}
+	return suggestDelta(rs, theta), nil
+}

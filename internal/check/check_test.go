@@ -1,0 +1,160 @@
+package check
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/testutil"
+)
+
+// TestDifferentialSmoke sweeps a block of generator seeds through the
+// full trial — every join path diffed against the oracle, all
+// metamorphic properties — and requires zero divergences. This is the
+// in-tree slice of the wider sweep cmd/rankcheck runs in CI.
+func TestDifferentialSmoke(t *testing.T) {
+	seeds := int64(30)
+	if testing.Short() {
+		seeds = 8
+	}
+	for s := int64(1); s <= seeds; s++ {
+		p, rs := Generate(s)
+		for _, d := range RunTrial(p, rs, nil) {
+			t.Errorf("seed %d (profile=%s k=%d n=%d θ=%v): %s", s, p.Profile, p.K, len(rs), p.Theta, d)
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the replay guarantee: the same seed
+// must always produce the same trial.
+func TestGenerateDeterministic(t *testing.T) {
+	p1, rs1 := Generate(77)
+	p2, rs2 := Generate(77)
+	if p1 != p2 {
+		t.Fatalf("params diverged: %+v vs %+v", p1, p2)
+	}
+	if len(rs1) != len(rs2) {
+		t.Fatalf("dataset sizes diverged: %d vs %d", len(rs1), len(rs2))
+	}
+	for i := range rs1 {
+		if rs1[i].String() != rs2[i].String() {
+			t.Fatalf("ranking %d diverged: %v vs %v", i, rs1[i], rs2[i])
+		}
+	}
+}
+
+// TestReplayTestdata re-runs every shrunk reproducer checked in under
+// testdata/ — the regression anchors of previously fixed divergences.
+func TestReplayTestdata(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no reproducer files under testdata/")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			p, rs, err := LoadRepro(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range RunTrial(p, rs, nil) {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}
+
+// TestReproRoundTrip checks that a reproducer file restores the exact
+// trial: every parameter (including a θ with no short decimal form)
+// and every ranking.
+func TestReproRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rs := testutil.RandDataset(rng, 9, 4, 17)
+	p := Params{
+		Seed: 42, Profile: ProfileZipf, K: 4, Domain: 17,
+		Theta: 7.0 / 20.0, ThetaC: 0.031415926535,
+		Delta: 2, Partitions: 3, Shards: 2, Pivots: 5, Churn: 11,
+	}
+	var buf bytes.Buffer
+	divs := []Divergence{{Path: PathVJ, Kind: KindPairs, Detail: "example"}}
+	if err := WriteRepro(&buf, p, rs, divs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# divergence: [vj/pairs] example") {
+		t.Errorf("divergence comment missing from repro:\n%s", buf.String())
+	}
+	p2, rs2, err := ReadRepro(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Errorf("params did not round-trip: wrote %+v, read %+v", p, p2)
+	}
+	if len(rs2) != len(rs) {
+		t.Fatalf("dataset did not round-trip: wrote %d rankings, read %d", len(rs), len(rs2))
+	}
+	for i := range rs {
+		if rs[i].String() != rs2[i].String() {
+			t.Errorf("ranking %d did not round-trip: wrote %v, read %v", i, rs[i], rs2[i])
+		}
+	}
+}
+
+// TestShrink minimizes a deterministic failure: a dataset with one
+// mixed-length ranking makes the oracle error, and delta debugging must
+// cut the dataset down to the two rankings needed to witness the
+// length mismatch.
+func TestShrink(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rs := testutil.RandDataset(rng, 14, 3, 12)
+	odd := testutil.RandRanking(rng, 100, 5, 12)
+	rs = append(rs[:7:7], append([]*rankings.Ranking{odd}, rs[7:]...)...)
+	p := Params{Seed: 9, K: 3, Domain: 12, Theta: 0.3, Delta: 1, Partitions: 1, Shards: 1, Pivots: 1, Churn: 4}
+
+	divs := RunTrial(p, rs, func(path string) bool { return path == PathBrute })
+	if len(divs) == 0 {
+		t.Fatal("mixed-length dataset should make the oracle error")
+	}
+	small, div := Shrink(p, rs, divs[0])
+	if !div.Matches(divs[0]) {
+		t.Errorf("shrunk divergence %v does not match target %v", div, divs[0])
+	}
+	if len(small) > 2 {
+		t.Errorf("shrunk to %d rankings, want ≤ 2: %v", len(small), small)
+	}
+	// The shrunk dataset must still fail the same way.
+	if again := RunTrial(p, small, func(path string) bool { return path == PathBrute }); len(again) == 0 {
+		t.Error("shrunk dataset no longer reproduces the divergence")
+	}
+}
+
+// TestPathFilterDeterminism pins the shrinking precondition: running a
+// single path must reproduce exactly the divergences the full run
+// reported for that path (each sub-runner owns its own seeded stream).
+func TestPathFilterDeterminism(t *testing.T) {
+	for s := int64(1); s <= 5; s++ {
+		p, rs := Generate(s)
+		full := RunTrial(p, rs, nil)
+		only := RunTrial(p, rs, func(path string) bool { return path == PathShard })
+		var fullShard []Divergence
+		for _, d := range full {
+			if d.Path == PathShard {
+				fullShard = append(fullShard, d)
+			}
+		}
+		if len(fullShard) != len(only) {
+			t.Fatalf("seed %d: full run had %d shard divergences, filtered run %d", s, len(fullShard), len(only))
+		}
+		for i := range only {
+			if only[i] != fullShard[i] {
+				t.Errorf("seed %d: divergence %d differs: full=%v filtered=%v", s, i, fullShard[i], only[i])
+			}
+		}
+	}
+}

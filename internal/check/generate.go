@@ -1,0 +1,135 @@
+package check
+
+import (
+	"math/rand"
+
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/testutil"
+)
+
+// Params pins every knob of one differential trial. A trial is fully
+// deterministic given Params plus the dataset: the churn schedule of
+// the shard path, the query sample, the metamorphic permutation and
+// the rotating algorithm choices are all derived from Seed, so a
+// failing trial replays bit-identically from its repro file.
+type Params struct {
+	// Seed drives every random choice inside the trial run.
+	Seed int64
+	// Profile names the generator distribution that produced the
+	// dataset (informational in replays, where the dataset is stored).
+	Profile string
+	// K is the uniform ranking length.
+	K int
+	// Domain is the item-id space fresh rankings (shard churn, ad-hoc
+	// queries) are drawn from.
+	Domain int
+	// Theta is the join threshold θ; the generator often engineers it
+	// to land exactly on an integer Footrule distance of a real pair.
+	Theta float64
+	// ThetaC is the CL clustering threshold (0 = package default).
+	ThetaC float64
+	// Delta is the CL-P repartitioning threshold, forced low so that
+	// posting lists actually split and Algorithm 3 executes.
+	Delta int
+	// Partitions is the engine shuffle partition count.
+	Partitions int
+	// Shards and Pivots size the dynamic index of the shard path.
+	Shards, Pivots int
+	// Churn is the number of upsert/delete operations applied to the
+	// shard index before its queries are diffed against brute force.
+	Churn int
+}
+
+// Profiles recognized by Generate. Each targets a failure family the
+// literature's prefix-filter joins historically shipped bugs through.
+const (
+	ProfileUniform  = "uniform"  // uncorrelated rankings, mid-density domains
+	ProfileZipf     = "zipf"     // skewed item frequencies → oversized posting lists
+	ProfileClusters = "clusters" // near-duplicate clusters → dense result sets
+	ProfileDupes    = "dupes"    // exact duplicates → distance-0 ties, dedup stress
+	ProfileDisjoint = "disjoint" // disjoint domains → catch-all / zero-overlap regime
+)
+
+var profiles = []string{ProfileUniform, ProfileZipf, ProfileClusters, ProfileDupes, ProfileDisjoint}
+
+// Generate derives one adversarial trial from a seed: a dataset drawn
+// from a randomly chosen profile, a ranking length spanning k ∈ {1..25},
+// and a threshold engineered half the time to land exactly on an
+// integer Footrule distance realized by an actual pair — the boundary
+// where off-by-one prefix sizes and threshold rounding flip membership.
+func Generate(seed int64) (Params, []*rankings.Ranking) {
+	rng := rand.New(rand.NewSource(seed))
+	p := Params{Seed: seed}
+
+	ks := []int{1, 2, 3, 4, 5, 7, 10, 15, 20, 25}
+	p.K = ks[rng.Intn(len(ks))]
+	n := 12 + rng.Intn(60)
+	p.Profile = profiles[rng.Intn(len(profiles))]
+
+	var rs []*rankings.Ranking
+	switch p.Profile {
+	case ProfileZipf:
+		p.Domain = 2*p.K + rng.Intn(20*p.K)
+		rs = testutil.ZipfDataset(rng, n, p.K, p.Domain, 1.1+1.4*rng.Float64())
+	case ProfileClusters:
+		p.Domain = 3*p.K + rng.Intn(8*p.K)
+		rs = testutil.ClusteredDataset(rng, 3+rng.Intn(8), 1+rng.Intn(5), p.K, p.Domain)
+	case ProfileDupes:
+		p.Domain = 2*p.K + rng.Intn(6*p.K)
+		rs = testutil.RandDataset(rng, n/2+1, p.K, p.Domain)
+		rs = testutil.WithDuplicates(rng, rs, n/2)
+	case ProfileDisjoint:
+		blocks := 2 + rng.Intn(3)
+		p.Domain = blocks * (p.K + rng.Intn(2*p.K+1))
+		rs = testutil.DisjointDataset(rng, blocks, 1+n/blocks/2, p.K, p.Domain/blocks)
+	default: // ProfileUniform
+		p.Domain = p.K + rng.Intn(20*p.K)
+		rs = testutil.RandDataset(rng, n, p.K, p.Domain)
+	}
+
+	p.Theta = chooseTheta(rng, rs, p.K)
+	switch rng.Intn(3) {
+	case 0:
+		p.ThetaC = 0 // the package default (0.03)
+	default:
+		p.ThetaC = 0.12 * rng.Float64()
+	}
+	p.Delta = 1 + rng.Intn(4)
+	p.Partitions = 1 + rng.Intn(4)
+	p.Shards = 1 + rng.Intn(4)
+	p.Pivots = 1 + rng.Intn(6)
+	p.Churn = len(rs)
+	return p, rs
+}
+
+// chooseTheta picks the trial threshold. Half the time it is engineered
+// to equal d/(k(k+1)) for the exact unnormalized distance d of a real
+// pair from the dataset, so the threshold lands precisely on the
+// boundary between including and excluding that pair; the rest of the
+// probability mass covers the exact corners θ = 0 and θ = 1 and the
+// generic interior.
+func chooseTheta(rng *rand.Rand, rs []*rankings.Ranking, k int) float64 {
+	maxF := float64(rankings.MaxFootrule(k))
+	switch r := rng.Float64(); {
+	case r < 0.10:
+		return 0
+	case r < 0.20:
+		return 1
+	case r < 0.70 && len(rs) >= 2:
+		// Boundary θ: the exact normalized distance of a sampled pair.
+		i := rng.Intn(len(rs))
+		j := rng.Intn(len(rs))
+		if i == j {
+			j = (j + 1) % len(rs)
+		}
+		d := rankings.Footrule(rs[i], rs[j])
+		// Occasionally sit one integer below the realized distance, the
+		// other side of the same boundary.
+		if d > 0 && rng.Intn(3) == 0 {
+			d--
+		}
+		return float64(d) / maxF
+	default:
+		return rng.Float64()
+	}
+}

@@ -1,0 +1,147 @@
+package check
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rankjoin/internal/rankings"
+)
+
+// Reproducer files are valid dataset files: every parameter rides in
+// '#'-prefixed comment lines that rankings.Read skips, so the body can
+// also be fed to any tool that consumes the standard format. Layout:
+//
+//	# rankcheck reproducer
+//	#param seed=42
+//	#param theta=0.25
+//	# divergence: [vj/pairs] got 3 pairs want 4; ...
+//	0: 3 1 4
+//	1: 1 5 9
+//
+// Replay with `rankcheck -replay <file>` or by dropping the file into
+// internal/check/testdata/, which the package tests sweep.
+
+// WriteRepro serializes a failing trial. The divergences are recorded
+// as comments for the human reader; replay recomputes them.
+func WriteRepro(w io.Writer, p Params, rs []*rankings.Ranking, divs []Divergence) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# rankcheck reproducer\n")
+	fmt.Fprintf(bw, "#param seed=%d\n", p.Seed)
+	fmt.Fprintf(bw, "#param profile=%s\n", p.Profile)
+	fmt.Fprintf(bw, "#param k=%d\n", p.K)
+	fmt.Fprintf(bw, "#param domain=%d\n", p.Domain)
+	fmt.Fprintf(bw, "#param theta=%s\n", strconv.FormatFloat(p.Theta, 'g', -1, 64))
+	fmt.Fprintf(bw, "#param thetac=%s\n", strconv.FormatFloat(p.ThetaC, 'g', -1, 64))
+	fmt.Fprintf(bw, "#param delta=%d\n", p.Delta)
+	fmt.Fprintf(bw, "#param partitions=%d\n", p.Partitions)
+	fmt.Fprintf(bw, "#param shards=%d\n", p.Shards)
+	fmt.Fprintf(bw, "#param pivots=%d\n", p.Pivots)
+	fmt.Fprintf(bw, "#param churn=%d\n", p.Churn)
+	for _, d := range divs {
+		fmt.Fprintf(bw, "# divergence: %s\n", d)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("check: write repro: %w", err)
+	}
+	return rankings.Write(w, rs)
+}
+
+// ReadRepro parses a reproducer file back into its trial parameters and
+// dataset.
+func ReadRepro(r io.Reader) (Params, []*rankings.Ranking, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Params{}, nil, fmt.Errorf("check: read repro: %w", err)
+	}
+	var p Params
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "#param ") {
+			continue
+		}
+		key, val, ok := strings.Cut(strings.TrimPrefix(line, "#param "), "=")
+		if !ok {
+			return Params{}, nil, fmt.Errorf("check: repro line %d: malformed %q", ln+1, line)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var perr error
+		switch key {
+		case "seed":
+			p.Seed, perr = strconv.ParseInt(val, 10, 64)
+		case "profile":
+			p.Profile = val
+		case "k":
+			p.K, perr = strconv.Atoi(val)
+		case "domain":
+			p.Domain, perr = strconv.Atoi(val)
+		case "theta":
+			p.Theta, perr = strconv.ParseFloat(val, 64)
+		case "thetac":
+			p.ThetaC, perr = strconv.ParseFloat(val, 64)
+		case "delta":
+			p.Delta, perr = strconv.Atoi(val)
+		case "partitions":
+			p.Partitions, perr = strconv.Atoi(val)
+		case "shards":
+			p.Shards, perr = strconv.Atoi(val)
+		case "pivots":
+			p.Pivots, perr = strconv.Atoi(val)
+		case "churn":
+			p.Churn, perr = strconv.Atoi(val)
+		default:
+			return Params{}, nil, fmt.Errorf("check: repro line %d: unknown param %q", ln+1, key)
+		}
+		if perr != nil {
+			return Params{}, nil, fmt.Errorf("check: repro line %d: bad %s: %w", ln+1, key, perr)
+		}
+	}
+	rs, err := rankings.Read(strings.NewReader(string(data)))
+	if err != nil {
+		return Params{}, nil, err
+	}
+	if p.K == 0 && len(rs) > 0 {
+		p.K = rs[0].K()
+	}
+	return p, rs, nil
+}
+
+// SaveRepro writes a reproducer under dir (created if missing) with a
+// name derived from the seed and the first divergence, and returns the
+// path.
+func SaveRepro(dir string, p Params, rs []*rankings.Ranking, divs []Divergence) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("check: save repro: %w", err)
+	}
+	tag := "divergence"
+	if len(divs) > 0 {
+		tag = divs[0].Path + "-" + divs[0].Kind
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed%d-%s.repro", p.Seed, tag))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("check: save repro: %w", err)
+	}
+	if err := WriteRepro(f, p, rs, divs); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("check: save repro: %w", err)
+	}
+	return path, nil
+}
+
+// LoadRepro reads a reproducer file from disk.
+func LoadRepro(path string) (Params, []*rankings.Ranking, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Params{}, nil, fmt.Errorf("check: load repro: %w", err)
+	}
+	defer f.Close()
+	return ReadRepro(f)
+}

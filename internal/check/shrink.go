@@ -1,0 +1,81 @@
+package check
+
+import (
+	"rankjoin/internal/rankings"
+)
+
+// maxShrinkTrials bounds the number of RunTrial evaluations one Shrink
+// call may spend. Each trial runs every join path over the candidate
+// subset, so an unbounded ddmin over an adversarial dataset could take
+// minutes; the bound trades minimality for a predictable runtime.
+const maxShrinkTrials = 160
+
+// Shrink reduces a failing dataset to a (locally) minimal reproducer
+// using delta debugging: chunks of rankings are removed greedily as
+// long as RunTrial still reports a divergence matching target (same
+// path and kind — the detail text legitimately changes while
+// shrinking). The input slice is not modified; the returned slice is
+// the smallest subset found within the trial budget, together with the
+// matching divergence it still produces.
+//
+// Shrinking re-runs only the target's path (plus the brute oracle the
+// self-join paths diff against), so minimizing a shard divergence does
+// not spend time re-running the six self-join algorithms.
+func Shrink(p Params, rs []*rankings.Ranking, target Divergence) ([]*rankings.Ranking, Divergence) {
+	enabled := shrinkPaths(target.Path)
+	trials := 0
+	fails := func(sub []*rankings.Ranking) (Divergence, bool) {
+		if trials >= maxShrinkTrials {
+			return Divergence{}, false
+		}
+		trials++
+		for _, d := range RunTrial(p, sub, enabled) {
+			if d.Matches(target) {
+				return d, true
+			}
+		}
+		return Divergence{}, false
+	}
+
+	cur := append([]*rankings.Ranking(nil), rs...)
+	found := target
+	chunk := (len(cur) + 1) / 2
+	for chunk >= 1 {
+		removed := false
+		for start := 0; start+chunk <= len(cur); {
+			trial := make([]*rankings.Ranking, 0, len(cur)-chunk)
+			trial = append(trial, cur[:start]...)
+			trial = append(trial, cur[start+chunk:]...)
+			if d, ok := fails(trial); ok {
+				cur = trial
+				found = d
+				removed = true
+				// The window now holds the next untried chunk; retry at
+				// the same start.
+			} else {
+				start += chunk
+			}
+			if trials >= maxShrinkTrials {
+				return cur, found
+			}
+		}
+		if chunk == 1 && !removed {
+			break
+		}
+		if !removed {
+			chunk /= 2
+		}
+	}
+	return cur, found
+}
+
+// shrinkPaths selects the paths worth re-running while minimizing a
+// divergence on the given path. Self-join paths need the brute oracle.
+func shrinkPaths(path string) func(string) bool {
+	switch path {
+	case PathJoinRS, PathShard:
+		return func(p string) bool { return p == path }
+	default:
+		return func(p string) bool { return p == path || p == PathBrute }
+	}
+}

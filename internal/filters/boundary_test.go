@@ -1,0 +1,155 @@
+package filters
+
+import (
+	"testing"
+
+	"rankjoin/internal/rankings"
+)
+
+// These tables pin the filter bounds at the exact integer boundaries
+// θ·k(k+1) where inclusion flips — the regime the differential harness
+// (internal/check) engineers its thresholds to land on. Every bound is
+// cross-checked against its inverse witness function
+// (MinDistForOverlap, LowestDistDisjointPrefix) on both sides of the
+// boundary, so an off-by-one in either direction fails.
+
+// TestThresholdExactIntegerBoundaries: for every k the paper considers
+// and every realizable integer distance d, the normalized threshold
+// θ = d/(k(k+1)) must convert back to exactly d — the epsilon guard in
+// rankings.Threshold exists precisely because θ·k(k+1) can evaluate to
+// d − 10⁻¹³ in floating point and a naive floor then drops every
+// boundary-distance pair.
+func TestThresholdExactIntegerBoundaries(t *testing.T) {
+	for k := 1; k <= 25; k++ {
+		maxF := rankings.MaxFootrule(k)
+		for d := 0; d <= maxF; d++ {
+			theta := float64(d) / float64(maxF)
+			if got := rankings.Threshold(theta, k); got != d {
+				t.Fatalf("k=%d d=%d: Threshold(%v) = %d, want %d", k, d, theta, got, d)
+			}
+		}
+	}
+}
+
+// TestMinOverlapTightAtBoundary: MinOverlap is exact at every overlap
+// witness distance. Two rankings sharing exactly ω items can realize
+// F = m(m+1) with m = k − ω (MinDistForOverlap), so
+// MinOverlap(m(m+1)) = ω; one distance unit below the witness the
+// bound must demand one more shared item.
+func TestMinOverlapTightAtBoundary(t *testing.T) {
+	for k := 1; k <= 25; k++ {
+		for omega := 0; omega <= k; omega++ {
+			d := MinDistForOverlap(omega, k)
+			if got := MinOverlap(d, k); got != omega {
+				t.Errorf("k=%d: MinOverlap(%d) = %d, want %d (witness distance of overlap %d)",
+					k, d, got, omega, omega)
+			}
+			if d > 0 && omega < k {
+				if got := MinOverlap(d-1, k); got != omega+1 {
+					t.Errorf("k=%d: MinOverlap(%d) = %d, want %d (below the overlap-%d witness)",
+						k, d-1, got, omega+1, omega)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixOverlapAtBoundary: the indexed prefix is k − ω + 1 at each
+// witness distance, clamped to [1, k] — at θ = 1 (ω = 0) the prefix is
+// the whole ranking plus the catch-all group, and at d = 0 a single
+// item suffices.
+func TestPrefixOverlapAtBoundary(t *testing.T) {
+	for k := 1; k <= 25; k++ {
+		for omega := 0; omega <= k; omega++ {
+			d := MinDistForOverlap(omega, k)
+			want := k - omega + 1
+			if want > k {
+				want = k
+			}
+			if want < 1 {
+				want = 1
+			}
+			if got := PrefixOverlap(d, k); got != want {
+				t.Errorf("k=%d ω=%d: PrefixOverlap(%d) = %d, want %d", k, omega, d, got, want)
+			}
+		}
+	}
+	if got := PrefixOverlap(0, 1); got != 1 {
+		t.Errorf("PrefixOverlap(0, 1) = %d, want 1 (lower clamp)", got)
+	}
+}
+
+// TestPrefixOrderedTightAtBoundary: Lemma 4.1's ordered prefix is
+// exact at its own witness distances. Two rankings with disjoint
+// p-prefixes are at least L(p) = 2p² apart, so at F = 2p² the bound
+// must extend to p + 1 positions, while at F = 2p² − 1 the first p
+// positions still guarantee a shared item.
+func TestPrefixOrderedTightAtBoundary(t *testing.T) {
+	for k := 2; k <= 25; k++ {
+		for p := 1; p <= k; p++ {
+			d := LowestDistDisjointPrefix(p)
+			if 2*d > k*k {
+				break // beyond Lemma 4.1's validity; fallback tested below
+			}
+			want := p + 1
+			if want > k {
+				want = k
+			}
+			if got := PrefixOrdered(d, k); got != want {
+				t.Errorf("k=%d: PrefixOrdered(%d) = %d, want %d (at the L(%d) witness)",
+					k, d, got, want, p)
+			}
+			if 2*(d-1) <= k*k {
+				wantBelow := p
+				if wantBelow > k {
+					wantBelow = k
+				}
+				if got := PrefixOrdered(d-1, k); got != wantBelow {
+					t.Errorf("k=%d: PrefixOrdered(%d) = %d, want %d (below the L(%d) witness)",
+						k, d-1, got, wantBelow, p)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixOrderedFallbackBoundary: the F > k²/2 validity edge. At
+// 2F = k² the lemma still applies; one unit beyond, the bound must
+// fall back to the full ranking, because the paper leaves the regime
+// open and any shorter prefix would be unsound.
+func TestPrefixOrderedFallbackBoundary(t *testing.T) {
+	for k := 1; k <= 25; k++ {
+		edge := k * k / 2
+		if 2*edge <= k*k {
+			in := PrefixOrdered(edge, k)
+			if in < 1 || in > k {
+				t.Errorf("k=%d: PrefixOrdered(%d) = %d out of [1,%d] inside validity", k, edge, in, k)
+			}
+		}
+		beyond := k*k/2 + 1
+		if 2*beyond > k*k {
+			if got := PrefixOrdered(beyond, k); got != k {
+				t.Errorf("k=%d: PrefixOrdered(%d) = %d, want full fallback %d", k, beyond, got, k)
+			}
+		}
+		if got := PrefixOrdered(rankings.MaxFootrule(k), k); got != k {
+			t.Errorf("k=%d: PrefixOrdered at max distance = %d, want %d", k, got, k)
+		}
+	}
+}
+
+// TestCatchAllRegimeBoundary: MinOverlap reaches 0 exactly when the
+// threshold admits fully disjoint rankings (F ≥ k(k+1), i.e. θ = 1) —
+// the regime where the pipelines must route records through the
+// catch-all group because no shared-item prefix exists to meet on.
+func TestCatchAllRegimeBoundary(t *testing.T) {
+	for k := 1; k <= 25; k++ {
+		maxF := rankings.MaxFootrule(k)
+		if got := MinOverlap(maxF, k); got != 0 {
+			t.Errorf("k=%d: MinOverlap at max distance = %d, want 0 (catch-all regime)", k, got)
+		}
+		if got := MinOverlap(maxF-1, k); got < 1 {
+			t.Errorf("k=%d: MinOverlap just below max distance = %d, want ≥ 1", k, got)
+		}
+	}
+}

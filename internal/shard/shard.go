@@ -389,8 +389,12 @@ func (s *Shard) knnLocked(q *Query, qd []int32, d *obs.FilterDelta) []Neighbor {
 		d.Generated++
 		bound := maxDist
 		if h.full() {
-			// Only a strictly closer ranking can displace the worst.
-			bound = h.worst() - 1
+			// A ranking at the worst kept distance can still displace the
+			// root when its id is smaller (the documented (dist, id) tie
+			// order), so the bound must admit equality — worst()-1 here
+			// silently dropped tied smaller-id neighbors that the oracle
+			// returns. push resolves the tie.
+			bound = h.worst()
 		}
 		pruned := false
 		for p := range qd {

@@ -274,3 +274,30 @@ func TestBatchMatchesSingles(t *testing.T) {
 		t.Fatalf("batch knn = %v, single = %v", batch[10], single)
 	}
 }
+
+// TestKNNBoundaryTie pins the (dist, id) tie order at the heap
+// boundary: once the result heap is full, a candidate at exactly the
+// worst kept distance but with a smaller id must still displace the
+// root. A verification bound of worst()-1 (the historical off-by-one)
+// silently drops such candidates; found by rankcheck seed 2
+// (testdata/seed2-shard-pairs.repro in internal/check).
+func TestKNNBoundaryTie(t *testing.T) {
+	x := New(Config{Shards: 1, PivotsPerShard: 2, Seed: 1})
+	q := rankings.MustNew(1000, []rankings.Item{1, 2})
+	// Two identical rankings, equidistant from q; the larger id is
+	// inserted (and therefore scanned) first, so the heap is full with
+	// id 10 when id 5 arrives at the same distance.
+	for _, id := range []int64{10, 5} {
+		if err := x.Insert(rankings.MustNew(id, []rankings.Item{3, 4})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := x.KNN(q, 1, NoExclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Neighbor{{ID: 5, Dist: rankings.Footrule(q, rankings.MustNew(5, []rankings.Item{3, 4}))}}
+	if !sameNeighbors(got, want) {
+		t.Errorf("KNN tie order: got %v, want %v (smaller id wins distance ties)", got, want)
+	}
+}

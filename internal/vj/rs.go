@@ -3,6 +3,7 @@ package vj
 import (
 	"rankjoin/internal/filters"
 	"rankjoin/internal/flow"
+	"rankjoin/internal/ppjoin"
 	"rankjoin/internal/rankings"
 )
 
@@ -65,21 +66,29 @@ func JoinRS(ctx *flow.Context, r, s []*rankings.Ranking, opts Options) ([]rankin
 		return items
 	}, opts.Partitions)
 
-	// emit verifies one (R-side x, S-side y) candidate.
-	emit := func(item rankings.Item, x, y tagged, out []rankings.Pair) []rankings.Pair {
-		if filters.PositionPrune(x.R, y.R, maxDist) {
-			return out
-		}
+	// emit verifies one (R-side x, S-side y) candidate, tallying its
+	// fate so R-S joins honor the same filter-counter conservation law
+	// as the self-joins.
+	emit := func(item rankings.Item, x, y tagged, st *ppjoin.Stats, out []rankings.Pair) []rankings.Pair {
 		if opts.LeastTokenDedup &&
 			minCommonToken(ordB.Value(), prefix, x.R, y.R) != item {
 			return out
 		}
+		st.Candidates++
+		if filters.PositionPrune(x.R, y.R, maxDist) {
+			st.PrunedPosition++
+			return out
+		}
+		st.Verified++
 		if d, ok := rankings.FootruleWithin(x.R, y.R, maxDist); ok {
+			st.Results++
 			out = append(out, rankings.Pair{A: x.R.ID, B: y.R.ID, Dist: d})
 		}
 		return out
 	}
+	fc := ctx.Filters()
 	selfKernel := func(item rankings.Item, members []tagged) []rankings.Pair {
+		var st ppjoin.Stats
 		var out []rankings.Pair
 		for _, a := range members {
 			if !a.FromR {
@@ -89,23 +98,28 @@ func JoinRS(ctx *flow.Context, r, s []*rankings.Ranking, opts Options) ([]rankin
 				if b.FromR {
 					continue
 				}
-				out = emit(item, a, b, out)
+				out = emit(item, a, b, &st, out)
 			}
 		}
+		opts.Stats.AddKernel(st)
+		fc.Add(st.FilterDelta())
 		return out
 	}
 	crossKernel := func(item rankings.Item, as, bs []tagged) []rankings.Pair {
+		var st ppjoin.Stats
 		var out []rankings.Pair
 		for _, a := range as {
 			for _, b := range bs {
 				switch {
 				case a.FromR && !b.FromR:
-					out = emit(item, a, b, out)
+					out = emit(item, a, b, &st, out)
 				case !a.FromR && b.FromR:
-					out = emit(item, b, a, out)
+					out = emit(item, b, a, &st, out)
 				}
 			}
 		}
+		opts.Stats.AddKernel(st)
+		fc.Add(st.FilterDelta())
 		return out
 	}
 

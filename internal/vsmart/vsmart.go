@@ -130,6 +130,10 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 		for _, p := range out {
 			seen[p.Key()] = struct{}{}
 		}
+		// Recovered pairs are results the filter ledger never saw:
+		// count them as generated/verified/emitted too, or the
+		// conservation law (emitted ≥ result pairs) breaks at θ = 1.
+		var delta obs.FilterDelta
 		for i := 0; i < len(rs); i++ {
 			for j := i + 1; j < len(rs); j++ {
 				key := rankings.PairKey{A: rs[i].ID, B: rs[j].ID}
@@ -137,10 +141,14 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 					key.A, key.B = key.B, key.A
 				}
 				if _, ok := seen[key]; !ok {
+					delta.Generated++
+					delta.Verified++
+					delta.Emitted++
 					out = append(out, rankings.Pair{A: key.A, B: key.B, Dist: k * (k + 1)})
 				}
 			}
 		}
+		ctx.Filters().Add(delta)
 	}
 	rankings.SortPairs(out)
 	return out, nil

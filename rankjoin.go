@@ -32,6 +32,7 @@
 package rankjoin
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -252,9 +253,21 @@ func (e *Engine) Close() error { return e.ctx.Close() }
 func (e *Engine) SetTracer(tr *Tracer) { e.ctx.SetTracer(tr) }
 
 // Join runs a similarity join on this engine.
+//
+// The input must be well formed: all rankings the same length k
+// (ErrMixedLengths otherwise — Footrule thresholds are only comparable
+// between rankings of equal k) and ids unique (ErrDuplicateID —
+// algorithms key intermediate state by id, and before this check the
+// execution paths disagreed on what a colliding id meant).
 func (e *Engine) Join(rs []*Ranking, opts Options) (*Result, error) {
 	if opts.Theta < 0 || opts.Theta > 1 {
-		return nil, fmt.Errorf("rankjoin: theta %v out of [0,1]", opts.Theta)
+		return nil, fmt.Errorf("%w: got %v", ErrThetaRange, opts.Theta)
+	}
+	if err := checkUniform(rs); err != nil {
+		return nil, err
+	}
+	if err := checkUniqueIDs(rs); err != nil {
+		return nil, err
 	}
 	e.ctx.ResetMetrics()
 	res := &Result{Algorithm: opts.Algorithm}
@@ -266,9 +279,6 @@ func (e *Engine) Join(rs []*Ranking, opts Options) (*Result, error) {
 	var err error
 	switch opts.Algorithm {
 	case AlgBruteForce:
-		if err := checkUniform(rs); err != nil {
-			return nil, err
-		}
 		if len(rs) > 0 {
 			maxDist := rankings.Threshold(opts.Theta, rs[0].K())
 			var st ppjoin.Stats
@@ -368,6 +378,25 @@ func Join(rs []*Ranking, opts Options) (*Result, error) {
 	return e.Join(rs, opts)
 }
 
+// Errors reported by the join entry points. All joins, SuggestDelta and
+// BuildIndex validate their input once at the public boundary so that
+// every execution path agrees on what malformed input means (before
+// this, CL rejected duplicate ids while VJ silently skipped them, and a
+// mixed-length dataset fed SuggestDelta a nonsense k).
+var (
+	// ErrMixedLengths reports a dataset mixing ranking lengths. The
+	// Footrule threshold θ·k(k+1) is only meaningful for a single k.
+	ErrMixedLengths = errors.New("rankjoin: rankings have mixed lengths")
+
+	// ErrDuplicateID reports two rankings in one dataset sharing an id.
+	ErrDuplicateID = errors.New("rankjoin: duplicate ranking id in dataset")
+
+	// ErrSelfJoinOnly reports an Options.Algorithm that only defines a
+	// self-join (the CL family's clustering construction and the
+	// related-work baselines) being requested for an R-S join.
+	ErrSelfJoinOnly = errors.New("rankjoin: algorithm joins a dataset with itself only")
+)
+
 func checkUniform(rs []*Ranking) error {
 	if len(rs) == 0 {
 		return nil
@@ -375,8 +404,19 @@ func checkUniform(rs []*Ranking) error {
 	k := rs[0].K()
 	for _, r := range rs {
 		if r.K() != k {
-			return fmt.Errorf("rankjoin: mixed ranking lengths %d and %d", k, r.K())
+			return fmt.Errorf("%w: %d and %d", ErrMixedLengths, k, r.K())
 		}
+	}
+	return nil
+}
+
+func checkUniqueIDs(rs []*Ranking) error {
+	seen := make(map[int64]struct{}, len(rs))
+	for _, r := range rs {
+		if _, dup := seen[r.ID]; dup {
+			return fmt.Errorf("%w: id %d", ErrDuplicateID, r.ID)
+		}
+		seen[r.ID] = struct{}{}
 	}
 	return nil
 }

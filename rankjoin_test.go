@@ -2,6 +2,7 @@ package rankjoin_test
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -146,13 +147,38 @@ func TestReadWriteRankings(t *testing.T) {
 
 func TestSuggestDelta(t *testing.T) {
 	rs := sample(t, 5, 100, 10, 100)
-	d := rankjoin.SuggestDelta(rs, 0.3)
+	d, err := rankjoin.SuggestDelta(rs, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d < 16 {
 		t.Errorf("delta %d", d)
 	}
-	if rankjoin.SuggestDelta(nil, 0.3) != 16 {
-		t.Error("empty dataset delta floor")
+	if d, err := rankjoin.SuggestDelta(nil, 0.3); err != nil || d != 16 {
+		t.Errorf("empty dataset: delta %d err %v, want floor 16", d, err)
 	}
+	// Mixed ranking lengths would make the Equation 4 estimate
+	// meaningless (prefix size keys off rs[0].K()); it must be a typed
+	// error, not a silent nonsense δ.
+	mixed := []*rankjoin.Ranking{
+		mustRanking(t, 1, []rankjoin.Item{1, 2, 3}),
+		mustRanking(t, 2, []rankjoin.Item{1, 2, 3, 4, 5}),
+	}
+	if _, err := rankjoin.SuggestDelta(mixed, 0.3); !errors.Is(err, rankjoin.ErrMixedLengths) {
+		t.Errorf("mixed-k SuggestDelta: err %v, want ErrMixedLengths", err)
+	}
+	if _, err := rankjoin.SuggestDelta(rs, 1.5); !errors.Is(err, rankjoin.ErrThetaRange) {
+		t.Errorf("theta out of range: err %v, want ErrThetaRange", err)
+	}
+}
+
+func mustRanking(t *testing.T, id int64, items []rankjoin.Item) *rankjoin.Ranking {
+	t.Helper()
+	r, err := rankjoin.NewRanking(id, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }
 
 func TestJoinSets(t *testing.T) {
