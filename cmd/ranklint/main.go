@@ -1,0 +1,165 @@
+// Command ranklint runs the repo-specific static-analysis passes that
+// enforce rankjoin's runtime invariants at compile time: span
+// lifecycle (spanend), filter-counter conservation (ledgertally),
+// shard mutex discipline (lockcopy, lockorder), map-iteration
+// determinism (maporder) and the sentinel-error wrapping contract
+// (wraperr). See DESIGN.md §10.
+//
+// Standalone usage (the CI gate):
+//
+//	go run ./cmd/ranklint ./...          # text findings, exit 1 if any
+//	go run ./cmd/ranklint -json ./...    # machine-readable diagnostics
+//	go run ./cmd/ranklint -run spanend,wraperr ./internal/...
+//	go run ./cmd/ranklint -list          # list analyzers
+//
+// As a vet tool (unit-checker protocol):
+//
+//	go build -o /tmp/ranklint ./cmd/ranklint
+//	go vet -vettool=/tmp/ranklint ./...
+//
+// Suppress one finding with a trailing or preceding comment carrying a
+// mandatory reason:
+//
+//	//ranklint:ignore reason why the invariant holds here
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rankjoin/internal/analysis"
+	"rankjoin/internal/analysis/passes"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	all := passes.All()
+
+	// go vet protocol: version handshake, flag discovery, .cfg unit runs.
+	if len(os.Args) >= 2 {
+		switch os.Args[1] {
+		case "-V=full", "-V":
+			// The go command caches vet results keyed on the trailing
+			// buildID= token, so it must change when the tool does: hash
+			// the executable.
+			fmt.Printf("ranklint version devel buildID=%s\n", executableHash())
+			return 0
+		case "-flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if last := len(os.Args) - 1; last >= 1 && strings.HasSuffix(os.Args[last], ".cfg") {
+		n, err := analysis.RunVetUnit(os.Args[last], all)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if n > 0 {
+			return 2
+		}
+		return 0
+	}
+
+	fs := flag.NewFlagSet("ranklint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {path,line,col,analyzer,message}")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: ranklint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	selected := all
+	if *runNames != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*runNames, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ranklint: unknown analyzer %q (use -list)\n", name)
+				return 1
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	findings, err := analysis.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "ranklint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}
+
+func executableHash() string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			io.Copy(h, f)
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

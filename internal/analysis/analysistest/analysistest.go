@@ -1,0 +1,180 @@
+// Package analysistest runs an analyzer over a package under the
+// calling test's testdata/src directory and compares its findings
+// against `// want "regexp"` expectations in the source, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are trailing comments on the line the diagnostic is
+// expected at:
+//
+//	leak := tr.StartScope("x") // want `never ended`
+//
+// Multiple expectations may follow one `want`, each a double-quoted or
+// backquoted Go string holding a regexp. Findings pass through the real
+// runner, including //ranklint:ignore suppression, so directive
+// behavior is testable: a suppressed line simply carries no want.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rankjoin/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> for each named package (relative to the
+// test's working directory, i.e. the analyzer's package directory),
+// applies the analyzer through the standard runner and checks the
+// findings against // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("analysistest: getwd: %v", err)
+	}
+	for _, name := range pkgNames {
+		dir := filepath.Join(wd, "testdata", "src", name)
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("analysistest: missing testdata package %s: %v", name, err)
+		}
+		pkgs, err := analysis.Load(wd, "./"+filepath.ToSlash(filepath.Join("testdata", "src", name)))
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", name, err)
+		}
+		if len(pkgs) != 1 {
+			t.Fatalf("analysistest: pattern %s matched %d packages, want 1", name, len(pkgs))
+		}
+		checkPackage(t, a, name, pkgs[0])
+	}
+}
+
+type key struct {
+	path string
+	line int
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, name string, pkg *analysis.Package) {
+	t.Helper()
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest[%s/%s]: %v", a.Name, name, err)
+	}
+
+	wants := make(map[key][]*regexp.Regexp)
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("analysistest[%s/%s]: %s:%d: bad want regexp %q: %v",
+							a.Name, name, pos.Filename, pos.Line, p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, f := range findings {
+		k := key{f.Path, f.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched[re] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("analysistest[%s/%s]: unexpected finding at %s:%d: %s",
+				a.Name, name, f.Path, f.Line, f.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("analysistest[%s/%s]: no finding at %s:%d matched %q",
+					a.Name, name, k.path, k.line, re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the expectation regexps from a `// want` comment.
+// It returns ok=false for comments that are not want directives.
+func parseWant(comment string) ([]string, bool) {
+	text, isLine := strings.CutPrefix(comment, "//")
+	if !isLine {
+		return nil, false // /* */ comments are not expectation carriers
+	}
+	text = strings.TrimSpace(text)
+	rest, isWant := strings.CutPrefix(text, "want ")
+	if !isWant {
+		return nil, false
+	}
+	var out []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := findStringEnd(rest)
+			if end < 0 {
+				return nil, false
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, false
+			}
+			out = append(out, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, false
+			}
+			out = append(out, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, false
+		}
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// findStringEnd returns the index of the closing quote of the
+// double-quoted Go string starting at s[0], honoring escapes.
+func findStringEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// Fprint is a debugging helper for analyzer development: it dumps the
+// findings of one run, formatted as the CLI would print them.
+func Fprint(findings []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&b, f.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,20 @@
+// Package notkernel is not in the kernel-package gate: identical code
+// to the flagged kernels must produce no findings here.
+package notkernel
+
+type Pair struct {
+	A, B int64
+	Sim  float64
+}
+
+func NewPair(a, b int64, sim float64) Pair { return Pair{A: a, B: b, Sim: sim} }
+
+func build(ids []int64) []Pair {
+	var out []Pair
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			out = append(out, NewPair(ids[i], ids[j], 1))
+		}
+	}
+	return out
+}

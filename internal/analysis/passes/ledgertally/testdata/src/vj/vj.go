@@ -1,0 +1,64 @@
+// Package vj exercises the ledgertally analyzer inside a package name
+// it gates on: kernels constructing pairs must touch the ledger.
+package vj
+
+type Pair struct {
+	A, B int64
+	Sim  float64
+}
+
+type Stats struct {
+	Candidates int64
+	Results    int64
+}
+
+func NewPair(a, b int64, sim float64) Pair {
+	return Pair{A: a, B: b, Sim: sim} //ranklint:ignore pure constructor; callers tally the ledger
+}
+
+func goodKernel(ids []int64, st *Stats) []Pair {
+	var out []Pair
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			st.Candidates++
+			out = append(out, NewPair(ids[i], ids[j], 1))
+			st.Results++
+		}
+	}
+	return out
+}
+
+func badKernel(ids []int64) []Pair {
+	var out []Pair
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			out = append(out, NewPair(ids[i], ids[j], 1)) // want `never touches the filter ledger`
+		}
+	}
+	return out
+}
+
+func badLiteral(a, b int64) []Pair {
+	return []Pair{{A: a, B: b, Sim: 1}} // want `never touches the filter ledger`
+}
+
+// zeroOnPrune returns the zero Pair on the pruned path: constructing
+// nothing, exempt.
+func zeroOnPrune(a, b int64) (Pair, bool) {
+	if a == b {
+		return Pair{}, false
+	}
+	return Pair{}, false
+}
+
+// dedup only moves existing pairs around; movers are exempt.
+func dedup(in []Pair) []Pair {
+	out := in[:0]
+	for i, p := range in {
+		if i > 0 && p == in[i-1] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

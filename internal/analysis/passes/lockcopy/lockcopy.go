@@ -1,0 +1,163 @@
+// Package lockcopy defines the ranklint analyzer forbidding by-value
+// copies of lock-bearing structs — the shard and epoch structures the
+// serving index builds on (internal/shard.Shard embeds sync.RWMutex
+// and atomics; internal/shard.Index embeds sync.RWMutex).
+//
+// Copying such a value forks the mutex state: the copy's mutex is
+// independently unlocked (or worse, permanently locked), epoch
+// counters silently diverge, and the RWMutex/epoch discipline the
+// sharded index relies on — every mutation bumps the owning shard's
+// epoch under its own lock — stops meaning anything. The race detector
+// only catches the consequences, on the schedules it happens to see;
+// this analyzer rejects the copy itself.
+//
+// Flagged shapes:
+//
+//   - methods declared with a value receiver of a lock-bearing type
+//   - function parameters and results of a lock-bearing type
+//   - assignments and variable initializations whose source reads an
+//     existing lock-bearing value (x := *p, y := x, s := arr[i])
+//   - range clauses whose value variable copies lock-bearing elements
+//
+// A type is lock-bearing if it is, embeds, or transitively contains a
+// field of type sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Cond,
+// sync.Once, sync.Map, sync.Pool, or a sync/atomic value type.
+package lockcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rankjoin/internal/analysis"
+)
+
+// Analyzer is the lockcopy pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcopy",
+	Doc:  "check for by-value copies of lock-bearing structs (shard/epoch mutex discipline)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkCopySource(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopySource(pass, v)
+				}
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkFuncSig(pass *analysis.Pass, recv *ast.FieldList, ftype *ast.FuncType) {
+	if recv != nil {
+		for _, f := range recv.List {
+			if t := lockPath(pass.TypeOf(f.Type)); t != "" {
+				pass.Reportf(f.Type.Pos(), "value receiver copies lock-bearing type (%s); use a pointer receiver", t)
+			}
+		}
+	}
+	if ftype.Params != nil {
+		for _, f := range ftype.Params.List {
+			if t := lockPath(pass.TypeOf(f.Type)); t != "" {
+				pass.Reportf(f.Type.Pos(), "parameter passes lock-bearing type by value (%s); pass a pointer", t)
+			}
+		}
+	}
+	if ftype.Results != nil {
+		for _, f := range ftype.Results.List {
+			if t := lockPath(pass.TypeOf(f.Type)); t != "" {
+				pass.Reportf(f.Type.Pos(), "result returns lock-bearing type by value (%s); return a pointer", t)
+			}
+		}
+	}
+}
+
+// checkCopySource flags RHS expressions that read an existing
+// lock-bearing value. Fresh values (composite literals, function call
+// results that are themselves flagged at their declaration) are the
+// value's first home, not a copy.
+func checkCopySource(pass *analysis.Pass, rhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr, *ast.ParenExpr:
+	default:
+		return
+	}
+	if t := lockPath(pass.TypeOf(rhs)); t != "" {
+		pass.Reportf(rhs.Pos(), "assignment copies lock-bearing value %s (%s); take a pointer instead", analysis.ExprString(rhs), t)
+	}
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	if t := lockPath(pass.TypeOf(rs.Value)); t != "" {
+		pass.Reportf(rs.Value.Pos(), "range value copies lock-bearing elements (%s); range over indexes or pointers", t)
+	}
+}
+
+// lockedStdTypes are the no-copy types of sync and sync/atomic.
+var lockedStdTypes = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Cond": true, "sync.Once": true, "sync.Map": true, "sync.Pool": true,
+	"sync/atomic.Value": true, "sync/atomic.Bool": true, "sync/atomic.Int32": true,
+	"sync/atomic.Int64": true, "sync/atomic.Uint32": true, "sync/atomic.Uint64": true,
+	"sync/atomic.Uintptr": true, "sync/atomic.Pointer": true,
+}
+
+// lockPath reports why t is lock-bearing: the dotted path from t down
+// to the first sync primitive it contains ("" if none). Pointers,
+// slices, maps and channels are references, not containers — they do
+// not propagate lock-bearing-ness.
+func lockPath(t types.Type) string {
+	return lockPathRec(t, make(map[types.Type]bool))
+}
+
+func lockPathRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			full := obj.Pkg().Path() + "." + obj.Name()
+			if lockedStdTypes[full] {
+				return full
+			}
+		}
+		if inner := lockPathRec(n.Underlying(), seen); inner != "" {
+			if obj.Pkg() != nil && (obj.Pkg().Path() == "sync" || obj.Pkg().Path() == "sync/atomic") {
+				return inner
+			}
+			return obj.Name() + " contains " + inner
+		}
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if inner := lockPathRec(u.Field(i).Type(), seen); inner != "" {
+				return "field " + u.Field(i).Name() + ": " + inner
+			}
+		}
+	case *types.Array:
+		return lockPathRec(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package lockcopy_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/analysis/analysistest"
+	"rankjoin/internal/analysis/passes/lockcopy"
+)
+
+func TestLockCopy(t *testing.T) {
+	analysistest.Run(t, lockcopy.Analyzer, "a")
+}

@@ -1,0 +1,63 @@
+// Package a exercises the lockcopy analyzer: value receivers, by-value
+// params/results, copy assignments and range copies of lock-bearing
+// structs, plus the reference shapes that are fine.
+package a
+
+import "sync"
+
+type Shard struct {
+	mu    sync.RWMutex
+	items map[int64]int
+}
+
+type Inner struct{ once sync.Once }
+
+type Holder struct{ in Inner }
+
+func useInner(*Inner) {}
+
+func (s Shard) Size() int { // want `value receiver copies lock-bearing type`
+	return len(s.items)
+}
+
+func byValueParam(s Shard) int { // want `parameter passes lock-bearing type by value`
+	return len(s.items)
+}
+
+func byValueResult() Shard { // want `result returns lock-bearing type by value`
+	return Shard{}
+}
+
+func copyDeref(p *Shard) {
+	s := *p // want `assignment copies lock-bearing value \*p`
+	_ = s.items
+}
+
+func rangeCopy(shards []Shard) {
+	for _, s := range shards { // want `range value copies lock-bearing elements`
+		_ = s.items
+	}
+}
+
+func transitive(h *Holder) {
+	v := h.in // want `assignment copies lock-bearing value h.in`
+	useInner(&v)
+}
+
+func pointersAreFine(p *Shard) *Shard {
+	q := p
+	return q
+}
+
+func rangePointers(shards []*Shard) int {
+	n := 0
+	for _, p := range shards {
+		n += len(p.items)
+	}
+	return n
+}
+
+func suppressedCopy(p *Shard) {
+	s := *p //ranklint:ignore snapshot taken before the shard is published
+	_ = s.items
+}

@@ -1,0 +1,68 @@
+// Package a exercises the lockorder analyzer: re-entrant calls into
+// lock-acquiring methods while the same mutex is held, against the
+// released / other-object / spawned-closure shapes that are fine.
+package a
+
+import "sync"
+
+type Shard struct {
+	mu    sync.RWMutex
+	items map[int64]int
+}
+
+func (s *Shard) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+func (s *Shard) Insert(k int64, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k] = v
+}
+
+func (s *Shard) InsertIfRoom(k int64, v int, max int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Len() >= max { // want `s\.Len acquires s\.mu, but the caller already holds it`
+		return false
+	}
+	s.items[k] = v
+	return true
+}
+
+func (s *Shard) Reinsert(k int64, v int) {
+	s.mu.RLock()
+	old := s.items[k]
+	s.mu.RUnlock()
+	s.Insert(k, old+v) // released above: fine
+}
+
+func (s *Shard) LenAfterUnlock() int {
+	s.mu.Lock()
+	s.items[0] = 0
+	s.mu.Unlock()
+	return s.Len()
+}
+
+func (s *Shard) Spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = s.Len() // runs after the region on another goroutine: fine
+	}()
+}
+
+func transfer(a, b *Shard, k int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.Insert(k, a.items[k]) // different object: fine
+}
+
+func (s *Shard) Suppressed(max int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok := s.Len() < max //ranklint:ignore Len reads an atomic in this build; no lock taken
+	return ok
+}

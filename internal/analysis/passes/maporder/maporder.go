@@ -1,0 +1,189 @@
+// Package maporder defines the ranklint analyzer protecting the
+// engine's determinism property: output must not depend on Go's
+// randomized map iteration order.
+//
+// rankcheck asserts id-permutation invariance dynamically — joining a
+// relabeled dataset must produce the relabeled result — and the
+// differential harness diffs algorithms pair-by-pair, both of which
+// silently rely on every emitted slice being deterministically
+// ordered. A `for ... range m` over a map that appends into a slice
+// bakes the random iteration order into that slice; if the slice then
+// feeds partitions or emitted pairs without an intervening sort, runs
+// stop being reproducible (and the differential harness chases
+// phantom divergences).
+//
+// The analyzer reports a range-over-map statement when its body
+// appends to a slice declared outside the loop and no sorting call
+// mentioning that slice (sort.*, slices.Sort*, or any callee whose
+// name contains "sort") follows in the same function. Collect-keys-
+// then-sort remains the blessed pattern and is not flagged, since the
+// sort call references the collected slice.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rankjoin/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "check that map iteration feeding slices is followed by a sort (id-permutation determinism)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				checkRange(pass, rs, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	fnBody := enclosingFuncBody(stack)
+	if fnBody == nil {
+		return
+	}
+	// Every slice appended to inside the loop body...
+	for _, target := range appendTargets(pass, rs.Body) {
+		obj := pass.TypesInfo.Uses[target]
+		if obj == nil {
+			continue
+		}
+		// ...must be declared outside the loop (a loop-local slice
+		// cannot outlive an iteration, so its order is local noise)...
+		if rs.Pos() <= obj.Pos() && obj.Pos() <= rs.End() {
+			continue
+		}
+		// ...and must meet a sort between the loop and the function end.
+		if sortedAfter(pass, obj, fnBody, rs.End()) {
+			continue
+		}
+		pass.Reportf(rs.Pos(),
+			"range over map appends to %s in nondeterministic order and no sort follows in this function; sort %s before it is emitted (id-permutation invariance)",
+			target.Name, target.Name)
+		return
+	}
+}
+
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// appendTargets returns the identifiers of slices appended to within
+// body: append(x, ...) assigned back or used, plus x = append(x, ...).
+func appendTargets(pass *analysis.Pass, body *ast.BlockStmt) []*ast.Ident {
+	var out []*ast.Ident
+	seen := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return true
+		}
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+			return true
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		seen[obj] = true
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether some call after pos in body both
+// references obj in its arguments (or receiver) and smells like a sort
+// (package sort or slices, or a callee whose name contains "sort").
+func sortedAfter(pass *analysis.Pass, obj types.Object, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if !isSortish(pass, call.Fun) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObj(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortish(pass *analysis.Pass, fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(f.Name), "sort") || strings.Contains(strings.ToLower(f.Name), "dedup")
+	case *ast.SelectorExpr:
+		if strings.Contains(strings.ToLower(f.Sel.Name), "sort") || strings.Contains(strings.ToLower(f.Sel.Name), "dedup") {
+			return true
+		}
+		if pkg, ok := f.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				return p == "sort" || p == "slices"
+			}
+		}
+	}
+	return false
+}
+
+func mentionsObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/analysis/analysistest"
+	"rankjoin/internal/analysis/passes/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "a")
+}

@@ -1,0 +1,63 @@
+// Package a exercises the maporder analyzer: map ranges appending to
+// outer slices without a following sort, against the collect-then-sort,
+// loop-local and custom-sort-helper shapes that are fine.
+package a
+
+import "sort"
+
+func bad(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want `range over map appends to keys in nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortPairs(ps []int) { sort.Ints(ps) }
+
+func customSortHelper(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sortPairs(out)
+	return out
+}
+
+func loopLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		for _, v := range vs {
+			tmp = append(tmp, v)
+		}
+		total += len(tmp)
+	}
+	return total
+}
+
+func sliceRangeIsFine(vs []int) []int {
+	var out []int
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}
+
+func suppressed(m map[int]string) []int {
+	var keys []int
+	//ranklint:ignore order is re-established by the consumer's canonical sort
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,27 @@
+// Package passes registers the repo-specific ranklint analyzers. Each
+// subdirectory implements one pass; All returns them in reporting
+// order. See DESIGN.md §10 for the invariant each pass encodes and the
+// runtime check it front-runs.
+package passes
+
+import (
+	"rankjoin/internal/analysis"
+	"rankjoin/internal/analysis/passes/ledgertally"
+	"rankjoin/internal/analysis/passes/lockcopy"
+	"rankjoin/internal/analysis/passes/lockorder"
+	"rankjoin/internal/analysis/passes/maporder"
+	"rankjoin/internal/analysis/passes/spanend"
+	"rankjoin/internal/analysis/passes/wraperr"
+)
+
+// All returns every registered analyzer, sorted by name.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ledgertally.Analyzer,
+		lockcopy.Analyzer,
+		lockorder.Analyzer,
+		maporder.Analyzer,
+		spanend.Analyzer,
+		wraperr.Analyzer,
+	}
+}

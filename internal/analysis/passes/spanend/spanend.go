@@ -1,0 +1,377 @@
+// Package spanend defines the ranklint analyzer enforcing the span
+// lifecycle invariant: every span returned by Tracer.StartScope,
+// Tracer.StartTask, Span.StartTask or Span.StartChild must be ended.
+//
+// This is the static counterpart of obs.(*Tracer).Validate, which
+// rejects traces containing unfinished spans — but only at runtime,
+// and only on code paths a test happens to execute. A leaked span also
+// leaks its render track (tasks) or permanently deepens the current
+// scope (scopes), so later spans nest wrongly even when Validate is
+// never called.
+//
+// The analyzer flags a Start* call when
+//
+//   - its result is discarded (statement expression or assigned to _),
+//     or
+//   - the span variable has no End call at all in the enclosing
+//     function, or
+//   - End is called, but only on the straight-line path: a return
+//     statement between Start and the first End leaks the span on that
+//     path (unless the return is directly preceded by its own End
+//     call).
+//
+// Spans that escape the function — passed to another call, returned,
+// stored in a struct or collection — transfer ownership and are not
+// tracked. Deferred Ends (including inside deferred closures) satisfy
+// the invariant unconditionally; End is idempotent, so defer + explicit
+// early End is the blessed belt-and-suspenders pattern.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rankjoin/internal/analysis"
+)
+
+// Analyzer is the spanend pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "check that every started trace span is ended on all paths (static obs.Validate)",
+	Run:  run,
+}
+
+var startMethods = map[string]bool{
+	"StartScope": true,
+	"StartTask":  true,
+	"StartChild": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkStart(pass, call, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkStart inspects one call expression; stack holds its ancestors
+// (outermost first, excluding the call itself).
+func checkStart(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !startMethods[sel.Sel.Name] {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || !hasEndMethod(tv.Type) {
+		return
+	}
+
+	parent := ast.Node(nil)
+	if len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "result of %s(...) is discarded: the span is never ended (obs.Validate would fail)", analysis.ExprString(call.Fun))
+	case *ast.SelectorExpr:
+		// Chained call: tr.StartScope(...).End() or .Name() etc. End in
+		// the chain is fine (typically under defer); any other chained
+		// method still discards the span itself.
+		if p.Sel.Name == "End" {
+			return
+		}
+		pass.Reportf(call.Pos(), "span from %s(...) is used but never ended", analysis.ExprString(call.Fun))
+	case *ast.AssignStmt:
+		id := assignTarget(p, call)
+		if id == nil {
+			return // multi-value or non-ident destination: out of scope
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "span from %s(...) assigned to _: the span is never ended", analysis.ExprString(call.Fun))
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		fn := enclosingFunc(stack)
+		if fn == nil {
+			return
+		}
+		checkSpanVar(pass, call, p, id, obj, fn)
+	}
+	// Other parents (call argument, return value, composite literal,
+	// var spec with initializer...) either transfer ownership or are
+	// rare enough that the runtime validator keeps covering them.
+}
+
+// assignTarget returns the LHS identifier matching call on the RHS of a
+// 1:1 or n:n assignment.
+func assignTarget(as *ast.AssignStmt, call *ast.CallExpr) *ast.Ident {
+	for i, rhs := range as.Rhs {
+		if rhs == call && i < len(as.Lhs) {
+			id, _ := as.Lhs[i].(*ast.Ident)
+			return id
+		}
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost function-like ancestor.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// spanUses summarizes how a span variable is used inside its function.
+type spanUses struct {
+	escapes     bool
+	endDeferred bool        // defer sp.End() or sp.End() under a deferred/spawned closure
+	endCalls    []token.Pos // non-deferred End call positions
+	rebinds     []token.Pos // positions where the variable is re-assigned
+}
+
+func checkSpanVar(pass *analysis.Pass, call *ast.CallExpr, assign *ast.AssignStmt, id *ast.Ident, obj types.Object, fn ast.Node) {
+	body := funcBody(fn)
+	if body == nil {
+		return
+	}
+	uses := collectUses(pass, obj, body, assign)
+	if uses.escapes {
+		return
+	}
+	if uses.endDeferred {
+		return
+	}
+	// This binding of the variable lives from the assignment until the
+	// next rebind (phase-span style: sp = tr.StartScope("next phase")),
+	// or the function end. End calls outside the window belong to other
+	// bindings of the same variable.
+	windowEnd := body.End()
+	rebound := false
+	for _, rb := range uses.rebinds {
+		if rb > call.End() && rb < windowEnd {
+			windowEnd = rb
+			rebound = true
+		}
+	}
+	firstEnd := token.NoPos
+	for _, e := range uses.endCalls {
+		if e > call.End() && e < windowEnd && (firstEnd == token.NoPos || e < firstEnd) {
+			firstEnd = e
+		}
+	}
+	if firstEnd == token.NoPos {
+		if rebound {
+			pass.Reportf(call.Pos(), "span %s is re-assigned at line %d without being ended first; obs.Validate would reject the trace",
+				id.Name, analysis.PosLine(pass.Fset, windowEnd))
+		} else {
+			pass.Reportf(call.Pos(), "span %s is never ended in this function (no %s.End() call); obs.Validate would reject the trace", id.Name, id.Name)
+		}
+		return
+	}
+	// Non-deferred End only: hunt for returns that sneak out between
+	// Start and the first End without their own preceding End.
+	for _, ret := range returnsBetween(body, call.End(), firstEnd) {
+		if endsBeforeReturn(pass, obj, body, ret) {
+			continue
+		}
+		pass.Reportf(ret.Pos(), "return leaks span %s: started at line %d, ended only at line %d; end it before returning or use defer %s.End()",
+			id.Name, analysis.PosLine(pass.Fset, call.Pos()), analysis.PosLine(pass.Fset, firstEnd), id.Name)
+	}
+}
+
+// collectUses walks the function body classifying every use of obj.
+// start is the assignment statement that bound the span; idents inside
+// it (the LHS of a plain `=` rebind) are not uses of interest.
+func collectUses(pass *analysis.Pass, obj types.Object, body *ast.BlockStmt, start *ast.AssignStmt) spanUses {
+	var uses spanUses
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			classifyUse(pass, id, stack, start, &uses)
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return uses
+}
+
+func classifyUse(pass *analysis.Pass, id *ast.Ident, stack []ast.Node, start *ast.AssignStmt, uses *spanUses) {
+	// Receiver position: sel.X == id, parent call invokes the method.
+	if len(stack) >= 2 {
+		if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == id {
+			if c, ok := stack[len(stack)-2].(*ast.CallExpr); ok && c.Fun == sel {
+				if sel.Sel.Name == "End" {
+					if underDeferOrClosure(stack) {
+						uses.endDeferred = true
+					} else {
+						uses.endCalls = append(uses.endCalls, c.Pos())
+					}
+				}
+				return // method call on the span: benign use
+			}
+			return // bare field/method value read: benign
+		}
+	}
+	// Idents inside the defining assignment itself (the LHS of a plain
+	// `=` rebind) are the binding, not a use.
+	if inNode(start, id.Pos()) {
+		return
+	}
+	// A later re-assignment target closes this binding's window (the
+	// phase-span pattern); record it rather than treating it as an
+	// escape.
+	if len(stack) >= 1 {
+		if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if lhs == ast.Expr(id) {
+					uses.rebinds = append(uses.rebinds, id.Pos())
+					return
+				}
+			}
+		}
+	}
+	// Anything else — call argument, return operand, struct literal,
+	// map/slice store, channel send, comparison, reassignment source —
+	// lets the span escape our intraprocedural view.
+	uses.escapes = true
+}
+
+// underDeferOrClosure reports whether the ancestor chain passes a defer
+// statement or a function literal (a closure may run the End later, so
+// treat both as satisfying the lifecycle).
+func underDeferOrClosure(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return true
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// returnsBetween collects return statements positioned in (after, before)
+// in the function body, skipping nested function literals (their
+// returns exit the closure, not this function).
+func returnsBetween(body *ast.BlockStmt, after, before token.Pos) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > after && ret.Pos() < before {
+			out = append(out, ret)
+		}
+		return true
+	})
+	return out
+}
+
+// endsBeforeReturn reports whether the statement directly preceding ret
+// in its enclosing block is an obj.End() call — the accepted shape for
+// ending a span on an early exit.
+func endsBeforeReturn(pass *analysis.Pass, obj types.Object, body *ast.BlockStmt, ret *ast.ReturnStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, st := range block.List {
+			if st != ast.Stmt(ret) || i == 0 {
+				continue
+			}
+			if isEndCall(pass, obj, block.List[i-1]) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isEndCall(pass *analysis.Pass, obj types.Object, st ast.Stmt) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// inNode reports whether pos lies within n's extent.
+func inNode(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}
+
+// hasEndMethod reports whether t (the Start* result) is a single value
+// whose method set includes a niladic End.
+func hasEndMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() != 1 {
+			return false
+		}
+		t = tup.At(0).Type()
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if m.Name() != "End" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		return ok && sig.Params().Len() == 0
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/analysis/analysistest"
+	"rankjoin/internal/analysis/passes/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, spanend.Analyzer, "a")
+}

@@ -1,0 +1,101 @@
+// Package a exercises the spanend analyzer: discarded spans, missing
+// Ends, early-return leaks, binding windows (the phase-span rebind
+// pattern) and the blessed defer / end-before-return shapes.
+package a
+
+import "errors"
+
+type Span struct{ name string }
+
+func (s *Span) End()         {}
+func (s *Span) Name() string { return s.name }
+
+func (s *Span) StartChild(name string) *Span { return &Span{name: name} }
+
+type Tracer struct{}
+
+func (t *Tracer) StartScope(name string) *Span { return &Span{name: name} }
+func (t *Tracer) StartTask(name string) *Span  { return &Span{name: name} }
+
+var errEarly = errors.New("early")
+
+func consume(sp *Span) {}
+
+func discarded(tr *Tracer) {
+	tr.StartScope("x") // want `result of tr.StartScope\(...\) is discarded`
+}
+
+func assignedBlank(tr *Tracer) {
+	_ = tr.StartScope("x") // want `assigned to _: the span is never ended`
+}
+
+func chainedEnd(tr *Tracer) {
+	defer tr.StartScope("x").End()
+}
+
+func neverEnded(tr *Tracer) {
+	sp := tr.StartScope("x") // want `span sp is never ended in this function`
+	sp.Name()
+}
+
+func childNeverEnded(tr *Tracer) {
+	parent := tr.StartScope("p")
+	defer parent.End()
+	c := parent.StartChild("c") // want `span c is never ended in this function`
+	c.Name()
+}
+
+func leakOnReturn(tr *Tracer, fail bool) error {
+	sp := tr.StartScope("x")
+	if fail {
+		return errEarly // want `return leaks span sp`
+	}
+	sp.End()
+	return nil
+}
+
+func endBeforeReturn(tr *Tracer, fail bool) error {
+	sp := tr.StartScope("x")
+	if fail {
+		sp.End()
+		return errEarly
+	}
+	sp.End()
+	return nil
+}
+
+func deferredEnd(tr *Tracer, fail bool) error {
+	sp := tr.StartScope("x")
+	defer sp.End()
+	if fail {
+		return errEarly
+	}
+	return nil
+}
+
+func rebindWithoutEnd(tr *Tracer) {
+	sp := tr.StartScope("a") // want `re-assigned at line \d+ without being ended first`
+	sp = tr.StartScope("b")
+	sp.End()
+}
+
+func phasePattern(tr *Tracer) {
+	sp := tr.StartScope("a")
+	sp.End()
+	sp = tr.StartScope("b")
+	sp.End()
+}
+
+func escapes(tr *Tracer) {
+	sp := tr.StartScope("x")
+	consume(sp)
+}
+
+func suppressedSameLine(tr *Tracer) {
+	tr.StartScope("x") //ranklint:ignore lifecycle owned by the process; ended at exit
+}
+
+func suppressedLineAbove(tr *Tracer) {
+	//ranklint:ignore lifecycle owned by the process; ended at exit
+	tr.StartScope("x")
+}

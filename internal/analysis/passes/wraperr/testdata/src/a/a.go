@@ -1,0 +1,50 @@
+// Package a exercises the wraperr analyzer: sentinel errors formatted
+// with non-%w verbs and stringified via .Error(), against the wrapped,
+// local-variable and non-sentinel shapes that are fine.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrKMismatch = errors.New("ranking length k does not match the index")
+
+var notSentinel = errors.New("package-level but not Err-named")
+
+func badVerb(k int) error {
+	return fmt.Errorf("insert k=%d: %v", k, ErrKMismatch) // want `sentinel error ErrKMismatch formatted with %v breaks the errors.Is chain`
+}
+
+func badStringVerb() error {
+	return fmt.Errorf("failed: %s", ErrKMismatch) // want `sentinel error ErrKMismatch formatted with %s breaks the errors.Is chain`
+}
+
+func goodWrap(k int) error {
+	return fmt.Errorf("insert k=%d: %w", k, ErrKMismatch)
+}
+
+func starVerbsKeepSlots(width int) error {
+	return fmt.Errorf("pad %*d: %w", width, 3, ErrKMismatch)
+}
+
+func stringified() string {
+	return "failed: " + ErrKMismatch.Error() // want `calling ErrKMismatch\.Error\(\) stringifies the sentinel`
+}
+
+func compareByText(err error) bool {
+	return err.Error() == ErrKMismatch.Error() // want `calling ErrKMismatch\.Error\(\) stringifies the sentinel`
+}
+
+func localErrIsFine() error {
+	err := errors.New("local")
+	return fmt.Errorf("wrapped: %v", err)
+}
+
+func nonSentinelNameIsFine() error {
+	return fmt.Errorf("x: %v", notSentinel)
+}
+
+func suppressed() string {
+	return ErrKMismatch.Error() //ranklint:ignore user-facing text, never compared or matched
+}

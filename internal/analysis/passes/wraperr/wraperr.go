@@ -1,0 +1,203 @@
+// Package wraperr defines the ranklint analyzer guarding the typed
+// sentinel error contract: sentinels like rankjoin.ErrSelfJoinOnly,
+// ErrMixedLengths or shard.ErrKMismatch must flow to callers either
+// bare or wrapped with %w — never stringified.
+//
+// internal/server maps engine errors onto HTTP status codes with
+// errors.Is, and the public API documents errors.Is compatibility. A
+// single fmt.Errorf("...: %v", ErrKMismatch) silently severs that
+// chain: the text still reads right, every errors.Is test of that path
+// starts failing, and the server's error mapper degrades to 500s. The
+// compiler cannot notice — %v is perfectly legal — so this analyzer
+// does.
+//
+// Flagged shapes, for any identifier matching ^Err[A-Z].* whose type
+// implements error (local or pkg-qualified):
+//
+//   - fmt.Errorf with the sentinel bound to any verb but %w
+//   - calling .Error() on the sentinel (errors.New(ErrX.Error()),
+//     string concatenation, manual comparisons)
+package wraperr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"rankjoin/internal/analysis"
+)
+
+// Analyzer is the wraperr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wraperr",
+	Doc:  "check that typed sentinel errors are wrapped with %w, never stringified (errors.Is contract)",
+	Run:  run,
+}
+
+var sentinelName = regexp.MustCompile(`^Err[A-Z]`)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isErrorfCall(pass, call) {
+				checkErrorf(pass, call)
+			}
+			checkErrorStringification(pass, call)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isErrorfCall matches fmt.Errorf.
+func isErrorfCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+	return ok && pn.Imported().Path() == "fmt"
+}
+
+// checkErrorf verifies that sentinel arguments of fmt.Errorf are bound
+// to the %w verb.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := parseVerbs(format)
+	for i, arg := range call.Args[1:] {
+		name, isSentinel := sentinelRef(pass, arg)
+		if !isSentinel {
+			continue
+		}
+		if i >= len(verbs) {
+			continue // malformed format; vet's printf check owns that
+		}
+		if verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(),
+				"sentinel error %s formatted with %%%c breaks the errors.Is chain; wrap it with %%w",
+				name, verbs[i])
+		}
+	}
+}
+
+// checkErrorStringification flags sentinel.Error() calls.
+func checkErrorStringification(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return
+	}
+	name, isSentinel := sentinelRef(pass, sel.X)
+	if !isSentinel {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"calling %s.Error() stringifies the sentinel; return it bare or wrapped with %%w so errors.Is keeps working",
+		name)
+}
+
+// sentinelRef reports whether e denotes a package-level error variable
+// named like a sentinel (ErrFoo or pkg.ErrFoo).
+func sentinelRef(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	display := ""
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+		display = e.Name
+	case *ast.SelectorExpr:
+		if _, ok := e.X.(*ast.Ident); !ok {
+			return "", false
+		}
+		id = e.Sel
+		display = analysis.ExprString(e)
+	default:
+		return "", false
+	}
+	if !sentinelName.MatchString(id.Name) {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return "", false
+	}
+	// Package-level variable of an error-implementing type.
+	if obj.Parent() != nil && obj.Parent().Parent() != types.Universe {
+		return "", false
+	}
+	if !implementsError(obj.Type()) {
+		return "", false
+	}
+	return display, true
+}
+
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}
+
+// constantString resolves e to its constant string value.
+func constantString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		if lit, ok := e.(*ast.BasicLit); ok {
+			s, err := strconv.Unquote(lit.Value)
+			return s, err == nil
+		}
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// parseVerbs extracts the verb letters of a printf format string in
+// argument order. Width/precision stars consume an argument slot and
+// are recorded as '*'.
+func parseVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,12 @@
+package wraperr_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/analysis/analysistest"
+	"rankjoin/internal/analysis/passes/wraperr"
+)
+
+func TestWrapErr(t *testing.T) {
+	analysistest.Run(t, wraperr.Analyzer, "a")
+}

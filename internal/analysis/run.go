@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// IgnoreDirective is the comment directive that suppresses ranklint
+// diagnostics on its own line or the line directly below it. A reason
+// is mandatory; a bare directive is itself a finding.
+const IgnoreDirective = "//ranklint:ignore"
+
+// A Finding is one resolved diagnostic: position plus the analyzer
+// that produced it, ready for text or JSON rendering.
+type Finding struct {
+	Path     string `json:"path"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Path, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// ignoreSet records, per file, the lines carrying a well-formed
+// //ranklint:ignore directive. Malformed directives (no reason) are
+// collected separately so the runner can report them.
+type ignoreSet struct {
+	lines     map[string]map[int]bool
+	malformed []Finding
+}
+
+// collectIgnores scans every comment in the package for ignore
+// directives.
+func collectIgnores(pkg *Package) *ignoreSet {
+	set := &ignoreSet{lines: make(map[string]map[int]bool)}
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+				pos := pkg.Fset.Position(c.Pos())
+				if strings.TrimSpace(rest) == "" || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					set.malformed = append(set.malformed, Finding{
+						Path: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: "ranklint",
+						Message:  "malformed //ranklint:ignore directive: a reason is required (//ranklint:ignore <reason>)",
+					})
+					continue
+				}
+				if set.lines[pos.Filename] == nil {
+					set.lines[pos.Filename] = make(map[int]bool)
+				}
+				set.lines[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return set
+}
+
+// suppressed reports whether a finding at (path, line) is covered by a
+// directive on the same line or the line above.
+func (s *ignoreSet) suppressed(path string, line int) bool {
+	ls := s.lines[path]
+	return ls != nil && (ls[line] || ls[line-1])
+}
+
+// Run applies every analyzer to every package, resolves positions,
+// applies suppression directives and returns the surviving findings
+// sorted by (path, line, col, analyzer).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		findings = append(findings, ignores.malformed...)
+		for _, a := range analyzers {
+			diags, err := runOne(pkg, a)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores.suppressed(pos.Filename, pos.Line) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Path: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: a.Name, Message: d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+func runOne(pkg *Package, a *Analyzer) (diags []Diagnostic, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("analyzer panicked: %v", r)
+		}
+	}()
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// Inspect walks every file in the pass in depth-first order, calling f
+// for each node; f returning false prunes the subtree (ast.Inspect
+// semantics, lifted to the whole package).
+func Inspect(pass *Pass, f func(ast.Node) bool) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, f)
+	}
+}
+
+// ExprString renders an expression compactly for diagnostics (only the
+// shapes analyzers report on: identifiers, selectors, calls, derefs
+// and indexes; anything else falls back to a type-based placeholder).
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return "(" + ExprString(e.X) + ")"
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+// PosLine returns the line of pos within fset, for analyzers that need
+// line-relative reasoning.
+func PosLine(fset *token.FileSet, pos token.Pos) int { return fset.Position(pos).Line }

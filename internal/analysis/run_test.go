@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// boomAnalyzer flags every call to a function named boom; it exists to
+// exercise the runner (suppression, sorting, JSON shape) independently
+// of the real passes.
+var boomAnalyzer = &Analyzer{
+	Name: "boom",
+	Doc:  "flags calls to boom",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					pass.Reportf(call.Pos(), "call to boom")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func loadIgnorePkg(t *testing.T) *Package {
+	t.Helper()
+	pkgs, err := Load("", "./testdata/src/ignore")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load matched %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// TestIgnoreDirectives pins the suppression contract: a well-formed
+// directive on the finding's line or the line above removes it; a
+// directive without a reason is itself reported.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := loadIgnorePkg(t)
+	findings, err := Run([]*Package{pkg}, []*Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	var boomLines []int
+	var malformed int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "boom":
+			boomLines = append(boomLines, f.Line)
+		case "ranklint":
+			malformed++
+			if !strings.Contains(f.Message, "a reason is required") {
+				t.Errorf("malformed-directive message = %q", f.Message)
+			}
+		default:
+			t.Errorf("unexpected analyzer %q in finding %v", f.Analyzer, f)
+		}
+	}
+	// ignore.go calls boom four times: the 2nd is suppressed on its own
+	// line, the 3rd by the directive on the line above; 1st and 4th
+	// survive (lines 8 and 12).
+	if len(boomLines) != 2 || boomLines[0] != 8 || boomLines[1] != 12 {
+		t.Errorf("surviving boom findings at lines %v, want [8 12]", boomLines)
+	}
+	if malformed != 1 {
+		t.Errorf("got %d malformed-directive findings, want 1 (//ranklint:ignorebogus)", malformed)
+	}
+}
+
+// TestFindingJSON pins the -json output shape consumed by tooling.
+func TestFindingJSON(t *testing.T) {
+	f := Finding{Path: "x.go", Line: 3, Col: 7, Analyzer: "spanend", Message: "m"}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	want := `{"path":"x.go","line":3,"col":7,"analyzer":"spanend","message":"m"}`
+	if string(b) != want {
+		t.Errorf("Finding JSON = %s, want %s", b, want)
+	}
+	if got := f.String(); got != "x.go:3:7: spanend: m" {
+		t.Errorf("Finding.String() = %q", got)
+	}
+}

@@ -1,0 +1,15 @@
+// Package ignore exercises the runner's suppression machinery against
+// a synthetic analyzer that flags every call to boom.
+package ignore
+
+func boom() {}
+
+func f() {
+	boom()
+	boom() //ranklint:ignore same-line suppression with a reason
+	//ranklint:ignore line-above suppression with a reason
+	boom()
+	boom()
+}
+
+//ranklint:ignorebogus

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// vetConfig is the JSON configuration cmd/go writes for a vet tool —
+// the `go vet -vettool` unit-checker protocol. Field set mirrors
+// x/tools/go/analysis/unitchecker.Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit executes one unit-checker invocation: it loads the
+// package described by the cfg file, runs the analyzers, prints plain
+// findings to stderr and returns the number of findings. cmd/go treats
+// a nonzero tool exit as a failed vet run and relays stderr, so the
+// caller exits 2 when n > 0.
+func RunVetUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("ranklint: parsing vet config %s: %v", cfgPath, err)
+	}
+
+	// Facts protocol: ranklint analyzers exchange no facts, but cmd/go
+	// expects the output file to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if typeErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("ranklint: type-checking %s: %v", cfg.ImportPath, typeErr)
+	}
+
+	pkg := &Package{
+		PkgPath:   cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Dir:       cfg.Dir,
+		GoFiles:   cfg.GoFiles,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	findings, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+	}
+	return len(findings), nil
+}

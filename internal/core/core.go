@@ -130,12 +130,16 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	// Phase 1: Ordering — one canonical frequency order for both VJ
 	// runs (§5 "Ordering").
 	phaseStart := time.Now()
-	phaseSpan := tr.StartScope("cl/ordering")
+	orderSpan := tr.StartScope("cl/ordering")
+	// Every phase span is deferred in addition to the explicit End on
+	// the success path (End is idempotent): an error return mid-phase
+	// must not leak an open scope, or obs.Validate rejects the trace.
+	defer orderSpan.End()
 	ord, err := vj.ComputeOrder(ds, opts.Partitions)
 	if err != nil {
 		return nil, err
 	}
-	phaseSpan.End()
+	orderSpan.End()
 	ctx.ObserveStage("cl/ordering", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.OrderingTime = time.Since(phaseStart)
@@ -143,7 +147,8 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 
 	// Phase 2: Clustering — VJ at θc over the pre-ordered dataset.
 	phaseStart = time.Now()
-	phaseSpan = tr.StartScope("cl/clustering")
+	clusterSpan := tr.StartScope("cl/clustering")
+	defer clusterSpan.End()
 	clusterPairsDS, err := vj.JoinDataset(ds, rs, vj.Options{
 		Theta:             opts.ThetaC,
 		Variant:           opts.Variant,
@@ -215,7 +220,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 			return nil, err
 		}
 	}
-	phaseSpan.End()
+	clusterSpan.End()
 	ctx.ObserveStage("cl/clustering", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.ClusteringTime = time.Since(phaseStart)
@@ -225,7 +230,8 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	// type-dependent prefixes and Lemma 5.3 thresholds, repartitioned
 	// per §6 when Delta > 0.
 	phaseStart = time.Now()
-	phaseSpan = tr.StartScope("cl/joining")
+	joinSpan := tr.StartScope("cl/joining")
+	defer joinSpan.End()
 	ordB := flow.NewBroadcast(ctx, ord)
 	// Degenerate regime: when θ+2θc admits zero-overlap centroid
 	// pairs, prefix posting lists cannot deliver them — route every
@@ -270,7 +276,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 	if err != nil {
 		return nil, err
 	}
-	phaseSpan.End()
+	joinSpan.End()
 	ctx.ObserveStage("cl/joining", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.CentroidPairs = nCPairs
@@ -279,7 +285,8 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 
 	// Phase 4: Expansion — Algorithm 2.
 	phaseStart = time.Now()
-	phaseSpan = tr.StartScope("cl/expansion")
+	expandSpan := tr.StartScope("cl/expansion")
+	defer expandSpan.End()
 	results := expand(expandInputs{
 		thresholds:   t,
 		opts:         opts,
@@ -297,7 +304,7 @@ func Join(ctx *flow.Context, rs []*rankings.Ranking, opts Options) ([]rankings.P
 		return nil, err
 	}
 	rankings.SortPairs(out)
-	phaseSpan.End()
+	expandSpan.End()
 	ctx.ObserveStage("cl/expansion", time.Since(phaseStart))
 	if opts.Stats != nil {
 		opts.Stats.ExpansionTime = time.Since(phaseStart)

@@ -115,7 +115,16 @@ func JaccardJoin(recs []SetRecord, threshold float64, st *Stats) ([]SetPair, err
 			}
 			index[tok] = append(index[tok], i)
 		}
+		// Emit candidates in index order: overlaps is a map, and the
+		// output order must not depend on iteration order (rankcheck
+		// compares runs pairwise after canonical sorting, but callers
+		// observe raw order).
+		cands := make([]int, 0, len(overlaps))
 		for idx := range overlaps {
+			cands = append(cands, idx)
+		}
+		sort.Ints(cands)
+		for _, idx := range cands {
 			cand := recs[idx]
 			if cand.ID == r.ID {
 				continue
