@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline regression gate (Bench 4): -baseline FILE compares the
+// current report against a checked-in earlier one and fails the run
+// when any shared benchmark regressed by more than -max-regress.
+//
+// Comparison is by benchmark name; benchmarks present on only one side
+// are ignored, and so are signals absent from the baseline row, so the
+// baseline can be a curated subset — CI pins only the
+// hardware-independent allocs/op rows of the shard sweeps, dropping
+// timings and QPS that would flake across runner generations — while
+// -out keeps recording everything. Three signals are compared, each in
+// its own regression direction:
+//
+//   - ns_per_op: higher is worse;
+//   - metrics.qps: lower is worse;
+//   - metrics.allocs_per_op: higher is worse — and since the arena
+//     baselines are zero, the multiplicative margin makes ANY new
+//     steady-state allocation a failure, which is the point.
+func compareBaseline(rep report, path string, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byName := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+
+	var failures []string
+	compared := 0
+	check := func(name, signal string, cur, old float64, higherWorse bool) {
+		compared++
+		if old == 0 && cur == 0 {
+			// Zero held at zero: a genuine (and passing) comparison —
+			// the allocs/op gate lives here — just not worth a log line.
+			return
+		}
+		regressed := false
+		if higherWorse {
+			regressed = cur > old*(1+maxRegress)
+		} else {
+			regressed = cur < old*(1-maxRegress)
+		}
+		status := "ok"
+		if regressed {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s %s: %.1f vs baseline %.1f (max regress %.0f%%)",
+				name, signal, cur, old, maxRegress*100))
+		}
+		fmt.Fprintf(os.Stderr, "baseline %-42s %-13s %12.1f -> %12.1f  %s\n",
+			name, signal, old, cur, status)
+	}
+	for _, cur := range rep.Results {
+		old, ok := byName[cur.Name]
+		if !ok {
+			continue
+		}
+		if old.NsPerOp > 0 && cur.NsPerOp > 0 {
+			check(cur.Name, "ns_per_op", cur.NsPerOp, old.NsPerOp, true)
+		}
+		if bq, ok := old.Metrics["qps"]; ok {
+			if cq, ok := cur.Metrics["qps"]; ok {
+				check(cur.Name, "qps", cq, bq, false)
+			}
+		}
+		if ba, ok := old.Metrics["allocs_per_op"]; ok {
+			if ca, ok := cur.Metrics["allocs_per_op"]; ok {
+				check(cur.Name, "allocs_per_op", ca, ba, true)
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s shares no benchmarks with this run", path)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "bench: regression:", f)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(failures), maxRegress*100)
+	}
+	fmt.Fprintf(os.Stderr, "baseline: %d signals within %.0f%% of %s\n", compared, maxRegress*100, path)
+	return nil
+}

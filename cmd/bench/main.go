@@ -34,9 +34,20 @@
 //     for /v1/search and /v1/knn under concurrent clients at two
 //     dataset sizes.
 //
+// Serving-path flags (Bench 4):
+//
+//   - -shard runs the shard.Batch micro-benchmarks (the serving path
+//     minus HTTP) at the -serve dataset sizes, recording ns/op,
+//     allocs/op and bytes/op for the arena-backed SearchInto, KNNInto
+//     and fused SearchBatchInto sweeps;
+//   - -baseline FILE compares the report against a checked-in earlier
+//     one and exits nonzero when any shared benchmark regressed beyond
+//     -max-regress (default 25%); CI runs this against
+//     results/bench_baseline.json on every push.
+//
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_3.json -trace-out trace.json -guard -serve
+//	go run ./cmd/bench -out BENCH_4.json -trace-out trace.json -guard -serve -shard
 package main
 
 import (
@@ -80,6 +91,9 @@ func main() {
 	guardRounds := flag.Int("guard-rounds", 5, "rounds per mode for the -guard comparison (min wins)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address for the duration")
 	serve := flag.Bool("serve", false, "benchmark the rankserved HTTP stack (QPS, p50/p99 latency)")
+	shardFlag := flag.Bool("shard", false, "benchmark the shard.Batch serving path (ns/op, allocs/op)")
+	baseline := flag.String("baseline", "", "fail when shared benchmarks regress beyond -max-regress vs this report")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression for -baseline comparisons")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -91,7 +105,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: debug listener on http://%s/debug/vars\n", dbg.Addr())
 	}
 
-	rep := report{Bench: 3, Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	rep := report{Bench: 4, Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	add := func(r result) {
 		rep.Results = append(rep.Results, r)
 		fmt.Fprintf(os.Stderr, "%-40s %12.1f ns/op  %v\n", r.Name, r.NsPerOp, r.Metrics)
@@ -126,6 +140,15 @@ func main() {
 		}
 		add(r)
 	}
+	if *shardFlag {
+		srs, err := shardBenches([]int{2000, 10000})
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range srs {
+			add(r)
+		}
+	}
 	if *serve {
 		srs, err := serveBenches([]int{2000, 10000})
 		if err != nil {
@@ -133,6 +156,11 @@ func main() {
 		}
 		for _, r := range srs {
 			add(r)
+		}
+	}
+	if *baseline != "" {
+		if err := compareBaseline(rep, *baseline, *maxRegress); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -382,6 +410,7 @@ func joinBench(algo rankjoin.Algorithm, rs []*rankings.Ranking, theta float64) r
 func addFilterMetrics(m map[string]float64, f rankjoin.FilterStats) {
 	m["filters_generated"] = float64(f.Generated)
 	m["filters_pruned_prefix"] = float64(f.PrunedPrefix)
+	m["filters_pruned_signature"] = float64(f.PrunedSignature)
 	m["filters_pruned_position"] = float64(f.PrunedPosition)
 	m["filters_pruned_triangle"] = float64(f.PrunedTriangle)
 	m["filters_accepted_unverified"] = float64(f.AcceptedUnverified)

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/shard"
+	"rankjoin/internal/testutil"
+)
+
+// The -shard micro-benchmarks (Bench 4): the serving path without HTTP
+// in the way. Each benchmark drives a reused shard.Batch arena — the
+// same object the server's dispatcher holds — so the numbers isolate
+// the index sweep itself: signature prefilter, pivot triangle filter,
+// verification kernel. allocs/op is reported for every benchmark; the
+// arena contract says steady state is zero, and the checked-in CI
+// baseline turns any regression of that into a build failure.
+
+const shardBatchWidth = 8 // queries per fused SearchBatchInto sweep
+
+func shardBenches(sizes []int) ([]result, error) {
+	var out []result
+	for _, n := range sizes {
+		rs, err := shardBench(n)
+		if err != nil {
+			return nil, fmt.Errorf("shard n=%d: %w", n, err)
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+func shardBench(n int) ([]result, error) {
+	// Same workload as the -serve benches so shard/* and serve/* rows
+	// at equal n differ only by the HTTP + dispatcher layers.
+	rng := rand.New(rand.NewSource(99))
+	data := testutil.ClusteredDataset(rng, n/5, 5, serveK, 30*serveK)
+	idx := shard.New(shard.Config{})
+	for _, r := range data {
+		if err := idx.Insert(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := waitForPivots(idx); err != nil {
+		return nil, err
+	}
+	maxDist := rankings.Threshold(serveTheta, serveK)
+	b := idx.NewBatch()
+
+	qrng := rand.New(rand.NewSource(1234))
+	pick := func() *rankings.Ranking { return data[qrng.Intn(len(data))] }
+	batch := make([]shard.Query, shardBatchWidth)
+	for i := range batch {
+		q := pick()
+		if i == len(batch)-1 {
+			batch[i] = shard.Query{R: q, KNN: serveKNN, Exclude: q.ID}
+		} else {
+			batch[i] = shard.Query{R: q, MaxDist: maxDist, Exclude: q.ID}
+		}
+	}
+
+	cases := []struct {
+		name    string
+		queries float64 // index queries answered per op
+		fn      func() error
+	}{
+		{"search_into", 1, func() error {
+			q := pick()
+			_, err := b.SearchInto(q, maxDist, q.ID)
+			return err
+		}},
+		{"knn_into", 1, func() error {
+			q := pick()
+			_, err := b.KNNInto(q, serveKNN, q.ID)
+			return err
+		}},
+		{fmt.Sprintf("batch%d_into", shardBatchWidth), shardBatchWidth, func() error {
+			_, err := b.SearchBatchInto(batch, nil)
+			return err
+		}},
+	}
+
+	var out []result
+	for _, c := range cases {
+		fn := c.fn
+		if err := fn(); err != nil { // warm the arena to its high-water mark
+			return nil, err
+		}
+		br := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if err := fn(); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		})
+		nsPerOp := float64(br.T.Nanoseconds()) / float64(br.N)
+		out = append(out, result{
+			Name:    fmt.Sprintf("shard/%s/n=%d", c.name, n),
+			NsPerOp: nsPerOp,
+			Metrics: map[string]float64{
+				"allocs_per_op": float64(br.AllocsPerOp()),
+				"bytes_per_op":  float64(br.AllocedBytesPerOp()),
+				"qps":           c.queries / (nsPerOp / 1e9),
+				"rankings":      float64(n),
+			},
+		})
+	}
+	return out, nil
+}
+
+// waitForPivots blocks until every shard's background pivot build has
+// landed, so the benchmarks measure the filtered steady state rather
+// than the pivotless bootstrap scan.
+func waitForPivots(idx *shard.Index) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ready := true
+		for _, st := range idx.Stats() {
+			if st.Size > 0 && st.Pivots == 0 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shards never finished building pivots")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

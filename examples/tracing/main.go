@@ -74,6 +74,7 @@ func main() {
 	fmt.Println("\nfilter cascade:")
 	fmt.Printf("  candidates generated   %8d\n", f.Generated)
 	fmt.Printf("  pruned by prefix       %8d\n", f.PrunedPrefix)
+	fmt.Printf("  pruned by signature    %8d\n", f.PrunedSignature)
 	fmt.Printf("  pruned by position     %8d\n", f.PrunedPosition)
 	fmt.Printf("  pruned by triangle     %8d\n", f.PrunedTriangle)
 	fmt.Printf("  accepted unverified    %8d\n", f.AcceptedUnverified)

@@ -17,6 +17,14 @@
 // move existing pairs around (dedup, merge, sort) construct nothing
 // and are exempt, which is exactly right: conservation is about where
 // candidates are generated and resolved, not where results are copied.
+//
+// A second rule guards the signature prefilter in EVERY package (not
+// just the kernels): a function that calls SignaturePrune discards
+// candidates, so it must also touch a ledger type — otherwise the
+// rejected candidates vanish from the conservation law instead of
+// being tallied as PrunedSignature. Only the defining package
+// (filters), where the predicate is pure math with no candidates in
+// sight, is exempt.
 package ledgertally
 
 import (
@@ -53,7 +61,9 @@ var kernelPackages = map[string]bool{
 var ledgerTypeName = regexp.MustCompile(`(Stats|Counters|Counts|Delta|Ledger)`)
 
 func run(pass *analysis.Pass) (any, error) {
-	if !kernelPackages[pass.Pkg.Name()] {
+	pairRule := kernelPackages[pass.Pkg.Name()]
+	sigRule := pass.Pkg.Name() != "filters"
+	if !pairRule && !sigRule {
 		return nil, nil
 	}
 	for _, file := range pass.Files {
@@ -62,23 +72,26 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd)
+			checkFunc(pass, fd, pairRule, sigRule)
 		}
 	}
 	return nil, nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	var firstPair ast.Node
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, pairRule, sigRule bool) {
+	var firstPair, firstSigPrune ast.Node
 	touchesLedger := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if firstPair == nil && isNewPairCall(pass, n) {
+			if pairRule && firstPair == nil && isNewPairCall(pass, n) {
 				firstPair = n
 			}
+			if sigRule && firstSigPrune == nil && isSignaturePruneCall(n) {
+				firstSigPrune = n
+			}
 		case *ast.CompositeLit:
-			if firstPair == nil && isPairLiteral(pass, n) {
+			if pairRule && firstPair == nil && isPairLiteral(pass, n) {
 				firstPair = n
 			}
 		case *ast.Ident:
@@ -88,11 +101,31 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
-	if firstPair != nil && !touchesLedger {
+	if touchesLedger {
+		return
+	}
+	if firstPair != nil {
 		pass.Reportf(firstPair.Pos(),
 			"kernel function %s constructs result pairs but never touches the filter ledger (Stats / FilterCounters / FilterDelta); the conservation law Generated = pruned + verified cannot hold",
 			fd.Name.Name)
 	}
+	if firstSigPrune != nil {
+		pass.Reportf(firstSigPrune.Pos(),
+			"function %s rejects candidates with SignaturePrune but never touches the filter ledger (Stats / FilterCounters / FilterDelta); signature rejections must be tallied as PrunedSignature or the conservation law breaks",
+			fd.Name.Name)
+	}
+}
+
+// isSignaturePruneCall matches calls to a function named SignaturePrune
+// (any package qualifier).
+func isSignaturePruneCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "SignaturePrune"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "SignaturePrune"
+	}
+	return false
 }
 
 // isNewPairCall matches calls to a function named NewPair (any

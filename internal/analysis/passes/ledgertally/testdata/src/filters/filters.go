@@ -1,0 +1,12 @@
+// Package filters is the defining package of SignaturePrune: the
+// predicate is pure math here, with no candidate streams in sight, so
+// unledgered calls (self-tests, composed predicates) are exempt.
+package filters
+
+func SignaturePrune(asig uint64, apop uint8, bsig uint64, bpop uint8, k, maxDist int) bool {
+	return false
+}
+
+func composed(sigs []uint64, pops []uint8, k, maxDist int) bool {
+	return SignaturePrune(sigs[0], pops[0], sigs[1], pops[1], k, maxDist)
+}

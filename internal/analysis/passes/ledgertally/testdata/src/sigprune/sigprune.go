@@ -1,0 +1,48 @@
+// Package sigprune exercises the SignaturePrune ledger rule, which —
+// unlike the pair rule — applies to every package, not just the
+// kernel-package gate.
+package sigprune
+
+type FilterDelta struct {
+	Generated       int64
+	PrunedSignature int64
+	Verified        int64
+}
+
+func SignaturePrune(asig uint64, apop uint8, bsig uint64, bpop uint8, k, maxDist int) bool {
+	return false
+}
+
+func goodSweep(sigs []uint64, pops []uint8, k, maxDist int, d *FilterDelta) int {
+	kept := 0
+	for i := range sigs {
+		d.Generated++
+		if SignaturePrune(sigs[0], pops[0], sigs[i], pops[i], k, maxDist) {
+			d.PrunedSignature++
+			continue
+		}
+		d.Verified++
+		kept++
+	}
+	return kept
+}
+
+func badSweep(sigs []uint64, pops []uint8, k, maxDist int) int {
+	kept := 0
+	for i := range sigs {
+		if SignaturePrune(sigs[0], pops[0], sigs[i], pops[i], k, maxDist) { // want `signature rejections must be tallied`
+			continue
+		}
+		kept++
+	}
+	return kept
+}
+
+// noPrune never rejects anything, so it owes the ledger nothing.
+func noPrune(sigs []uint64) int {
+	n := 0
+	for range sigs {
+		n++
+	}
+	return n
+}

@@ -554,6 +554,25 @@ func runShard(c *collector, p Params, rs []*rankings.Ranking, rng *rand.Rand) {
 			}
 		}
 	}
+	// Arena path: the same batch replayed twice through one reused Batch
+	// must answer identically both times — the second pass runs entirely
+	// on recycled scratch, so any stale-aliasing bug in the arena (or in
+	// the fused signature sweep's reused overlap matrix) shows up as a
+	// divergence here.
+	arena := idx.NewBatch()
+	for pass := 0; pass < 2; pass++ {
+		views, err := arena.SearchBatchInto(batch, nil)
+		if err != nil {
+			c.report(PathShard, KindError, "arena sweep pass %d: %v", pass, err)
+			break
+		}
+		for i := range views {
+			if !neighborsEqual(views[i], want[i]) {
+				c.report(PathShard, KindPairs, "arena pass %d query %d (q=%d knn=%d): got %v want %v",
+					pass, i, batch[i].R.ID, batch[i].KNN, views[i], want[i])
+			}
+		}
+	}
 	if snap := idx.Filters().Snapshot(); !snap.Conserved() {
 		c.report(PathShard, KindConservation, "index filter counters not conserved: %v", snap)
 	}

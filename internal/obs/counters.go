@@ -10,8 +10,8 @@ import (
 // (keeping the hot loops free of atomics). The fields obey the
 // conservation law
 //
-//	Generated = PrunedPrefix + PrunedPosition + PrunedTriangle +
-//	            AcceptedUnverified + Verified
+//	Generated = PrunedPrefix + PrunedSignature + PrunedPosition +
+//	            PrunedTriangle + AcceptedUnverified + Verified
 //
 // i.e. every candidate pair a join enumerates meets exactly one fate.
 type FilterDelta struct {
@@ -22,6 +22,11 @@ type FilterDelta struct {
 	// rank check while scanning a posting list (the single-item filter
 	// applied at the indexed prefix item, §4).
 	PrunedPrefix int64
+	// PrunedSignature counts candidates discarded by the 64-bit
+	// item-signature prefilter: an AND+popcount overlap upper bound
+	// converted to an admissible Footrule lower bound
+	// (filters.SignaturePrune), applied before any merged-pass kernel.
+	PrunedSignature int64
 	// PrunedPosition counts candidates discarded by the full position
 	// filter (merged pass over both rankings' position indexes).
 	PrunedPosition int64
@@ -45,6 +50,7 @@ type FilterDelta struct {
 type FilterCounters struct {
 	generated          atomic.Int64
 	prunedPrefix       atomic.Int64
+	prunedSignature    atomic.Int64
 	prunedPosition     atomic.Int64
 	prunedTriangle     atomic.Int64
 	acceptedUnverified atomic.Int64
@@ -62,6 +68,9 @@ func (c *FilterCounters) Add(d FilterDelta) {
 	}
 	if d.PrunedPrefix != 0 {
 		c.prunedPrefix.Add(d.PrunedPrefix)
+	}
+	if d.PrunedSignature != 0 {
+		c.prunedSignature.Add(d.PrunedSignature)
 	}
 	if d.PrunedPosition != 0 {
 		c.prunedPosition.Add(d.PrunedPosition)
@@ -87,6 +96,7 @@ func (c *FilterCounters) Reset() {
 	}
 	c.generated.Store(0)
 	c.prunedPrefix.Store(0)
+	c.prunedSignature.Store(0)
 	c.prunedPosition.Store(0)
 	c.prunedTriangle.Store(0)
 	c.acceptedUnverified.Store(0)
@@ -102,6 +112,7 @@ func (c *FilterCounters) Snapshot() FiltersSnapshot {
 	return FiltersSnapshot{
 		Generated:          c.generated.Load(),
 		PrunedPrefix:       c.prunedPrefix.Load(),
+		PrunedSignature:    c.prunedSignature.Load(),
 		PrunedPosition:     c.prunedPosition.Load(),
 		PrunedTriangle:     c.prunedTriangle.Load(),
 		AcceptedUnverified: c.acceptedUnverified.Load(),
@@ -115,6 +126,7 @@ func (c *FilterCounters) Snapshot() FiltersSnapshot {
 type FiltersSnapshot struct {
 	Generated          int64 `json:"generated"`
 	PrunedPrefix       int64 `json:"pruned_prefix"`
+	PrunedSignature    int64 `json:"pruned_signature"`
 	PrunedPosition     int64 `json:"pruned_position"`
 	PrunedTriangle     int64 `json:"pruned_triangle"`
 	AcceptedUnverified int64 `json:"accepted_unverified"`
@@ -125,13 +137,13 @@ type FiltersSnapshot struct {
 // Conserved reports whether the conservation law holds: every
 // generated candidate was pruned, accepted unverified, or verified.
 func (s FiltersSnapshot) Conserved() bool {
-	return s.Generated == s.PrunedPrefix+s.PrunedPosition+s.PrunedTriangle+s.AcceptedUnverified+s.Verified
+	return s.Generated == s.PrunedPrefix+s.PrunedSignature+s.PrunedPosition+s.PrunedTriangle+s.AcceptedUnverified+s.Verified
 }
 
 // IsZero reports whether no candidate was observed.
 func (s FiltersSnapshot) IsZero() bool { return s == FiltersSnapshot{} }
 
 func (s FiltersSnapshot) String() string {
-	return fmt.Sprintf("generated=%d prunedPrefix=%d prunedPosition=%d prunedTriangle=%d acceptedUnverified=%d verified=%d emitted=%d",
-		s.Generated, s.PrunedPrefix, s.PrunedPosition, s.PrunedTriangle, s.AcceptedUnverified, s.Verified, s.Emitted)
+	return fmt.Sprintf("generated=%d prunedPrefix=%d prunedSignature=%d prunedPosition=%d prunedTriangle=%d acceptedUnverified=%d verified=%d emitted=%d",
+		s.Generated, s.PrunedPrefix, s.PrunedSignature, s.PrunedPosition, s.PrunedTriangle, s.AcceptedUnverified, s.Verified, s.Emitted)
 }

@@ -18,7 +18,7 @@ import (
 
 // Stats counts the work a kernel performed. Pass nil to skip counting.
 // Every candidate meets exactly one fate, so
-// Candidates == PrunedPrefix + PrunedPosition + Verified.
+// Candidates == PrunedPrefix + PrunedSignature + PrunedPosition + Verified.
 type Stats struct {
 	// Candidates is the number of pairs the kernel enumerated.
 	Candidates int64
@@ -26,6 +26,10 @@ type Stats struct {
 	// single-item rank check at the indexed prefix token (PrefixIndex
 	// only).
 	PrunedPrefix int64
+	// PrunedSignature is the number of candidates discarded by the
+	// 64-bit item-signature overlap bound (filters.SignaturePrune),
+	// checked before the merged-pass position filter.
+	PrunedSignature int64
 	// PrunedPosition is the number of candidates discarded by the full
 	// merged-pass position filter.
 	PrunedPosition int64
@@ -42,6 +46,7 @@ func (s *Stats) add(o Stats) {
 	}
 	s.Candidates += o.Candidates
 	s.PrunedPrefix += o.PrunedPrefix
+	s.PrunedSignature += o.PrunedSignature
 	s.PrunedPosition += o.PrunedPosition
 	s.Verified += o.Verified
 	s.Results += o.Results
@@ -51,11 +56,12 @@ func (s *Stats) add(o Stats) {
 // filter-effectiveness delta folded into flow.Context.Filters.
 func (s Stats) FilterDelta() obs.FilterDelta {
 	return obs.FilterDelta{
-		Generated:      s.Candidates,
-		PrunedPrefix:   s.PrunedPrefix,
-		PrunedPosition: s.PrunedPosition,
-		Verified:       s.Verified,
-		Emitted:        s.Results,
+		Generated:       s.Candidates,
+		PrunedPrefix:    s.PrunedPrefix,
+		PrunedSignature: s.PrunedSignature,
+		PrunedPosition:  s.PrunedPosition,
+		Verified:        s.Verified,
+		Emitted:         s.Results,
 	}
 }
 
@@ -91,12 +97,21 @@ func NestedLoop(rs []*rankings.Ranking, maxDist int, st *Stats) []rankings.Pair 
 	var out []rankings.Pair
 	for i := 0; i < len(rs); i++ {
 		a := rs[i]
+		asig, apop := a.Signature()
+		ak := a.K()
 		for j := i + 1; j < len(rs); j++ {
 			b := rs[j]
 			if a.ID == b.ID {
 				continue
 			}
 			local.Candidates++
+			if b.K() == ak {
+				bsig, bpop := b.Signature()
+				if filters.SignaturePrune(asig, apop, bsig, bpop, ak, maxDist) {
+					local.PrunedSignature++
+					continue
+				}
+			}
 			if filters.PositionPrune(a, b, maxDist) {
 				local.PrunedPosition++
 				continue
@@ -134,6 +149,8 @@ func PrefixIndex(rs []*rankings.Ranking, ord *rankings.Order, prefix, maxDist in
 	seen := make(map[[2]int64]struct{})
 	var out []rankings.Pair
 	for i, r := range rs {
+		rsig, rpop := r.Signature()
+		rk := r.K()
 		for _, it := range ord.Prefix(r, prefix) {
 			rank, _ := r.Pos(it)
 			for _, p := range index[it] {
@@ -153,6 +170,13 @@ func PrefixIndex(rs []*rankings.Ranking, ord *rankings.Order, prefix, maxDist in
 				if filters.PositionPruneItem(rank, p.rank, maxDist) {
 					local.PrunedPrefix++
 					continue
+				}
+				if other.K() == rk {
+					osig, opop := other.Signature()
+					if filters.SignaturePrune(rsig, rpop, osig, opop, rk, maxDist) {
+						local.PrunedSignature++
+						continue
+					}
 				}
 				if filters.PositionPrune(r, other, maxDist) {
 					local.PrunedPosition++
@@ -178,11 +202,20 @@ func RS(r, s []*rankings.Ranking, maxDist int, st *Stats) []rankings.Pair {
 	var local Stats
 	var out []rankings.Pair
 	for _, a := range r {
+		asig, apop := a.Signature()
+		ak := a.K()
 		for _, b := range s {
 			if a.ID == b.ID {
 				continue
 			}
 			local.Candidates++
+			if b.K() == ak {
+				bsig, bpop := b.Signature()
+				if filters.SignaturePrune(asig, apop, bsig, bpop, ak, maxDist) {
+					local.PrunedSignature++
+					continue
+				}
+			}
 			if filters.PositionPrune(a, b, maxDist) {
 				local.PrunedPosition++
 				continue

@@ -43,6 +43,11 @@ type Ranking struct {
 	// Index.
 	idxItems []Item
 	idxRanks []int32
+
+	// sig/sigPop cache the 128-bit item signature (see signature.go),
+	// filled in by Index alongside the position index.
+	sig    Sig
+	sigPop int32
 }
 
 // New constructs a ranking and validates that items are duplicate-free.
@@ -116,6 +121,8 @@ func (r *Ranking) Index() {
 		}
 		items[j+1], ranks[j+1] = it, rk
 	}
+	sig, pop := computeSignature(items)
+	r.sig, r.sigPop = sig, int32(pop)
 	r.idxItems, r.idxRanks = items, ranks
 }
 

@@ -22,6 +22,14 @@ type batcher struct {
 	stop     chan struct{}
 	done     chan struct{}
 
+	// batch is the dispatcher's private execution arena: only the loop
+	// goroutine touches it, so the shard sweeps of consecutive batches
+	// reuse one set of scratch buffers and allocate nothing. Results
+	// alias the arena and are copied per response below (responses and
+	// the query cache outlive the next sweep).
+	batch *shard.Batch
+	qs    []shard.Query
+
 	sweeps     atomic.Int64
 	coalesced  atomic.Int64 // requests answered in a batch of size > 1
 	batchSizes obs.Histogram
@@ -53,6 +61,8 @@ func newBatcher(idx *shard.Index, maxBatch int, onSweep func(*obs.Tracer)) *batc
 		ch:       make(chan *searchCall, 4*maxBatch),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		batch:    idx.NewBatch(),
+		qs:       make([]shard.Query, 0, maxBatch),
 		onSweep:  onSweep,
 	}
 	go b.loop()
@@ -107,13 +117,13 @@ func (b *batcher) loop() {
 }
 
 func (b *batcher) run(batch []*searchCall) {
-	qs := make([]shard.Query, len(batch))
-	for i, c := range batch {
-		qs[i] = c.q
+	b.qs = b.qs[:0]
+	for _, c := range batch {
+		b.qs = append(b.qs, c.q)
 	}
 	tr := obs.NewTracer()
 	root := tr.StartScope("serve/sweep", obs.Int("batch", int64(len(batch))))
-	results, err := b.idx.SearchBatch(qs, root)
+	results, err := b.batch.SearchBatchInto(b.qs, root)
 	root.End()
 	if b.onSweep != nil {
 		b.onSweep(tr)
@@ -138,8 +148,18 @@ func (b *batcher) run(batch []*searchCall) {
 		return
 	}
 	for i, c := range batch {
-		c.resp <- searchResult{hits: results[i]}
+		c.resp <- searchResult{hits: copyHits(results[i])}
 	}
+}
+
+// copyHits detaches one result list from the sweep arena, which is
+// reused by the next batch while the response (and the query cache
+// entry) are still alive.
+func copyHits(v []shard.Neighbor) []shard.Neighbor {
+	if len(v) == 0 {
+		return nil
+	}
+	return append([]shard.Neighbor(nil), v...)
 }
 
 func (b *batcher) drainAndFail() {

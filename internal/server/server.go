@@ -535,16 +535,21 @@ type TraceStatus struct {
 // Status assembles the current server status.
 func (s *Server) Status() Status {
 	shardStats := s.idx.Stats()
+	// Cardinalities is the cheap per-shard size accessor (ints only, no
+	// ranking copies); it also saves the extra per-shard locking round a
+	// separate idx.Len() would take.
 	var sizes obs.Histogram
-	for _, st := range shardStats {
-		sizes.Observe(int64(st.Size))
+	size := 0
+	for _, c := range s.idx.Cardinalities() {
+		size += c
+		sizes.Observe(int64(c))
 	}
 	hits, misses := s.cache.stats()
 	batchSnap := s.batch.batchSizes.Snapshot()
 	st := Status{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		K:             s.idx.K(),
-		Size:          s.idx.Len(),
+		Size:          size,
 		Shards:        shardStats,
 		ShardSizes:    sizes.Snapshot().String(),
 		Filters:       s.idx.Filters().Snapshot(),

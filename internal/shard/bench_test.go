@@ -1,0 +1,28 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankjoin/internal/testutil"
+)
+
+func BenchmarkKNNInto10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	data := testutil.ClusteredDataset(rng, 2000, 5, 10, 300)
+	x := New(Config{})
+	for _, r := range data {
+		if err := x.Insert(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bb := x.NewBatch()
+	qrng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := data[qrng.Intn(len(data))]
+		if _, err := bb.KNNInto(q, 10, q.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

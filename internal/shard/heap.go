@@ -1,17 +1,24 @@
 package shard
 
-import "sort"
+import "slices"
 
 // resultHeap is a bounded max-heap of neighbors ordered by distance
 // (ties by id, larger id worse), keeping the n best seen so far. It is
 // the merge structure for both the per-shard kNN scan and the
 // cross-shard fan-in: pushes beyond capacity evict the current worst.
+// The backing array survives reset, so a heap embedded in a reusable
+// arena allocates only until its high-water capacity is reached.
 type resultHeap struct {
 	cap int
 	ns  []Neighbor
 }
 
-func newResultHeap(n int) *resultHeap { return &resultHeap{cap: n} }
+// reset re-arms the heap for a new query of capacity n, keeping the
+// backing array.
+func (h *resultHeap) reset(n int) {
+	h.cap = n
+	h.ns = h.ns[:0]
+}
 
 // worse orders the heap: a is a strictly worse result than b.
 func worse(a, b Neighbor) bool {
@@ -19,6 +26,20 @@ func worse(a, b Neighbor) bool {
 		return a.Dist > b.Dist
 	}
 	return a.ID > b.ID
+}
+
+// cmpNeighbor is the ascending (dist, id) order of every result list.
+func cmpNeighbor(a, b Neighbor) int {
+	if a.Dist != b.Dist {
+		return a.Dist - b.Dist
+	}
+	switch {
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
 }
 
 func (h *resultHeap) full() bool { return len(h.ns) >= h.cap }
@@ -74,21 +95,9 @@ func (h *resultHeap) down(i int) {
 	}
 }
 
-// sorted drains the heap into ascending (dist, id) order.
-func (h *resultHeap) sorted() []Neighbor {
-	out := h.ns
-	h.ns = nil
-	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
-	return out
-}
-
-// mergeKNN folds per-shard top-n lists into the global top-n.
-func mergeKNN(lists [][]Neighbor, n int) []Neighbor {
-	h := newResultHeap(n)
-	for _, l := range lists {
-		for _, nb := range l {
-			h.push(nb)
-		}
-	}
-	return h.sorted()
+// appendSorted sorts the kept neighbors into ascending (dist, id) order
+// and appends them to dst, leaving the heap reusable via reset.
+func (h *resultHeap) appendSorted(dst []Neighbor) []Neighbor {
+	slices.SortFunc(h.ns, cmpNeighbor)
+	return append(dst, h.ns...)
 }

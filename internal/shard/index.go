@@ -25,8 +25,10 @@ type Config struct {
 // merged through a bounded heap. All methods are safe for concurrent
 // use.
 type Index struct {
-	shards  []*Shard
-	filters obs.FilterCounters
+	shards    []*Shard
+	spanNames []string // precomputed "shard/i" task names (no per-sweep Sprintf)
+	filters   obs.FilterCounters
+	pool      sync.Pool // of *Batch, for the copying Search/KNN/SearchBatch wrappers
 
 	mu sync.RWMutex
 	k  int // established ranking length; 0 until the first insert
@@ -40,10 +42,15 @@ func New(cfg Config) *Index {
 	if cfg.PivotsPerShard <= 0 {
 		cfg.PivotsPerShard = 8
 	}
-	x := &Index{shards: make([]*Shard, cfg.Shards)}
+	x := &Index{
+		shards:    make([]*Shard, cfg.Shards),
+		spanNames: make([]string, cfg.Shards),
+	}
 	for i := range x.shards {
 		x.shards[i] = newShard(cfg.PivotsPerShard, cfg.Seed+int64(i)*7_919)
+		x.spanNames[i] = fmt.Sprintf("shard/%d", i)
 	}
+	x.pool.New = func() any { return x.NewBatch() }
 	return x
 }
 
@@ -128,6 +135,18 @@ func (x *Index) Len() int {
 	return n
 }
 
+// Cardinalities returns the per-shard entry counts in shard order — the
+// cheap size accessor for status pages and pre-sizing heuristics: one
+// RLock and one int per shard, where Snapshot copies every ranking
+// pointer and Stats assembles full per-shard statistics.
+func (x *Index) Cardinalities() []int {
+	out := make([]int, len(x.shards))
+	for i, s := range x.shards {
+		out[i] = s.Len()
+	}
+	return out
+}
+
 // Epochs returns the per-shard mutation epochs — the cache-invalidation
 // vector: any entry differing from a previously observed vector means
 // that shard's contents may have changed.
@@ -154,8 +173,9 @@ func (x *Index) Snapshot() ([]*rankings.Ranking, []uint64) {
 	return rs, es
 }
 
-// Filters exposes the index's pivot-pruning counters (Generated =
-// PrunedTriangle + Verified across all sweeps; Emitted counts hits).
+// Filters exposes the index's query-pruning counters (Generated =
+// PrunedSignature + PrunedTriangle + Verified across all sweeps;
+// Emitted counts hits).
 func (x *Index) Filters() *obs.FilterCounters { return &x.filters }
 
 // Stats returns per-shard statistics in shard order.
@@ -192,58 +212,28 @@ func (x *Index) KNN(q *rankings.Ranking, n int, exclude int64) ([]Neighbor, erro
 }
 
 // SearchBatch answers a batch of queries in one fan-out sweep: every
-// shard is visited exactly once (one RLock, all queries), shards run
-// concurrently, and per-shard partial results are merged per query —
-// concatenation for range queries, a bounded heap for kNN. The span,
-// when non-nil, receives one task child per shard. This is the
-// coalescing primitive the server's request batcher drives.
+// shard is visited exactly once (one RLock, all queries, one fused
+// signature pass), shards run concurrently, and per-shard partial
+// results are merged per query. The span, when non-nil, receives one
+// task child per shard. This is the coalescing primitive the server's
+// request batcher drives.
+//
+// The returned slices are private to the caller (copied out of the
+// pooled execution arena); callers that issue many queries and can
+// tolerate arena aliasing should hold a Batch and use SearchBatchInto
+// instead, which allocates nothing in steady state.
 func (x *Index) SearchBatch(qs []Query, span *obs.Span) ([][]Neighbor, error) {
-	for i := range qs {
-		if err := x.checkQuery(qs[i].R); err != nil {
-			return nil, err
-		}
-		// Index once, before the fan-out shares the query across
-		// goroutines (Ranking.Index is not concurrency-safe).
-		qs[i].R.Index()
+	b := x.pool.Get().(*Batch)
+	defer x.pool.Put(b)
+	views, err := b.SearchBatchInto(qs, span)
+	if err != nil {
+		return nil, err
 	}
-	perShard := make([][][]Neighbor, len(x.shards))
-	deltas := make([]obs.FilterDelta, len(x.shards))
-	var wg sync.WaitGroup
-	for i, s := range x.shards {
-		wg.Add(1)
-		go func(i int, s *Shard) {
-			defer wg.Done()
-			t := span.StartTask(fmt.Sprintf("shard/%d", i), obs.Int("size", int64(s.Len())))
-			perShard[i], deltas[i] = s.sweep(qs)
-			t.SetInt("hits", int64(countNeighbors(perShard[i])))
-			t.End()
-		}(i, s)
-	}
-	wg.Wait()
-	for _, d := range deltas {
-		x.filters.Add(d)
-	}
-	out := make([][]Neighbor, len(qs))
-	lists := make([][]Neighbor, len(x.shards))
-	for qi := range qs {
-		for i := range x.shards {
-			lists[i] = perShard[i][qi]
-		}
-		if n := qs[qi].KNN; n > 0 {
-			out[qi] = mergeKNN(lists, n)
-		} else {
-			// Range results merge by concatenation; the heap with cap =
-			// total just re-sorts them into (dist, id) order.
-			out[qi] = mergeKNN(lists, countNeighbors(lists))
+	out := make([][]Neighbor, len(views))
+	for i, v := range views {
+		if len(v) > 0 {
+			out[i] = append([]Neighbor(nil), v...)
 		}
 	}
 	return out, nil
-}
-
-func countNeighbors(lists [][]Neighbor) int {
-	n := 0
-	for _, l := range lists {
-		n += len(l)
-	}
-	return n
 }

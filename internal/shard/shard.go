@@ -3,7 +3,8 @@
 // metricspace.PivotIndex is built once over a frozen dataset, this
 // package keeps per-shard LAESA-style pivot tables that absorb
 // Insert/Delete traffic under an RWMutex, answer range and kNN queries
-// with triangle-inequality pruning, and re-pivot themselves in the
+// with a 128-bit item-signature prefilter followed by
+// triangle-inequality pruning, and re-pivot themselves in the
 // background when churn (or a collapsed prune rate) degrades pruning
 // power — the serving-side counterpart of the error-bounded pivot
 // selection literature: pruning only stays effective while the pivots
@@ -19,12 +20,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 
 	"rankjoin/internal/filters"
-	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
 )
 
@@ -63,6 +64,14 @@ type entry struct {
 	pd []int32 // pd[p] = Footrule(r, pivots[p])
 }
 
+// maxSignatureK bounds the ranking length the signature prefilter is
+// applied to: beyond 64 items the 128-bit signature can no longer
+// separate item sets (popcount saturates and the collision corrections
+// k − pop dwarf the shared-bit count), and keeping k ≤ 64 also lets
+// overlap bounds live in one byte per (entry, query) cell of the fused
+// sweep.
+const maxSignatureK = 64
+
 // Shard is one RWMutex-guarded partition of the index. All exported
 // methods are safe for concurrent use.
 type Shard struct {
@@ -72,8 +81,14 @@ type Shard struct {
 	mu      sync.RWMutex
 	pivots  []*rankings.Ranking
 	entries []entry
-	byID    map[int64]int
-	churn   int // mutations since the pivot set was last chosen
+	// sigs/pops mirror entries index-for-index with each ranking's
+	// 128-bit item signature and its popcount: the fused sweep's phase A
+	// touches only these two dense arrays (17 bytes per entry), not the
+	// entry structs, so the signature pass stays cache-resident.
+	sigs  []rankings.Sig
+	pops  []uint8
+	byID  map[int64]int
+	churn int // mutations since the pivot set was last chosen
 
 	// epoch is written under mu and read either under mu (consistent
 	// snapshots) or raw (cache tags, which only need monotonicity).
@@ -112,13 +127,18 @@ func pivotRow(r *rankings.Ranking, pivots []*rankings.Ranking) []int32 {
 // same id (upsert). The caller must have built r's position index
 // (Ranking.Index) before handing it over; Index-level Insert does.
 func (s *Shard) Insert(r *rankings.Ranking) {
+	sig, pop := r.Signature()
 	s.mu.Lock()
 	e := entry{r: r, pd: pivotRow(r, s.pivots)}
 	if i, ok := s.byID[r.ID]; ok {
 		s.entries[i] = e
+		s.sigs[i] = sig
+		s.pops[i] = uint8(pop)
 	} else {
 		s.byID[r.ID] = len(s.entries)
 		s.entries = append(s.entries, e)
+		s.sigs = append(s.sigs, sig)
+		s.pops = append(s.pops, uint8(pop))
 	}
 	s.churn++
 	s.epoch.Add(1)
@@ -145,8 +165,12 @@ func (s *Shard) Delete(id int64) bool {
 	delete(s.byID, id)
 	if i != last {
 		s.entries[i] = moved
+		s.sigs[i] = s.sigs[last]
+		s.pops[i] = s.pops[last]
 		s.byID[moved.r.ID] = i
 	}
+	s.sigs = s.sigs[:last]
+	s.pops = s.pops[:last]
 	s.churn++
 	s.epoch.Add(1)
 	due := s.rePivotDueLocked()
@@ -236,8 +260,11 @@ func (s *Shard) rePivotDueLocked() bool {
 	return s.churn*2 >= n
 }
 
-// notePruning folds one sweep's pruning observations in and reports
-// whether the prune rate collapsed badly enough to warrant a re-pivot.
+// notePruning folds one sweep's pruning observations in (pruned counts
+// signature and triangle rejections together — a sweep that rejects
+// almost everything on signatures alone has not lost pruning power) and
+// reports whether the prune rate collapsed badly enough to warrant a
+// re-pivot.
 func (s *Shard) notePruning(scanned, pruned int64) bool {
 	if scanned == 0 {
 		return false
@@ -266,9 +293,10 @@ func (s *Shard) triggerRePivot() {
 }
 
 // rePivot rebuilds the pivot table: snapshot the members under RLock,
-// choose fresh pivots and compute the distance table without holding
-// any lock, then apply under the write lock — recomputing rows only
-// for rankings that were inserted or replaced while the rebuild ran.
+// choose fresh pivots (error-bounded sampled selection, see pivot.go)
+// and compute the distance table without holding any lock, then apply
+// under the write lock — recomputing rows only for rankings that were
+// inserted or replaced while the rebuild ran.
 func (s *Shard) rePivot() {
 	defer s.repivoting.Store(false)
 	s.mu.RLock()
@@ -284,16 +312,8 @@ func (s *Shard) rePivot() {
 	round := s.rePivots.Load()
 	s.mu.RUnlock()
 
-	np := s.numPivots
-	if np > n {
-		np = n
-	}
 	rng := rand.New(rand.NewSource(s.seed + (round+1)*1_000_003 + int64(n)))
-	perm := rng.Perm(n)
-	pivots := make([]*rankings.Ranking, np)
-	for i := 0; i < np; i++ {
-		pivots[i] = members[perm[i]]
-	}
+	pivots := selectPivots(members, s.numPivots, rng)
 	// Rows are keyed by ranking pointer, not id: an id re-inserted with
 	// different items during the rebuild must not inherit a stale row.
 	rows := make(map[*rankings.Ranking][]int32, n)
@@ -321,42 +341,202 @@ func (s *Shard) rePivot() {
 	s.mu.Unlock()
 }
 
-// sweep answers a batch of queries under a single RLock acquisition —
-// the unit the server's request coalescing amortizes. It returns the
-// per-query neighbor lists and the filter accounting of the whole
-// sweep (Generated = PrunedTriangle + Verified; Emitted counts hits).
-func (s *Shard) sweep(qs []Query) ([][]Neighbor, obs.FilterDelta) {
-	out := make([][]Neighbor, len(qs))
-	var d obs.FilterDelta
+// sweepPhase1 is the first half of the fused multi-query sweep: under
+// one RLock acquisition it makes ONE pass over the shard's signature
+// arrays and upper-bounds every (entry, query) item overlap with an
+// AND+popcount (phase A), computes the query-to-pivot rows, answers
+// every RANGE query completely, and — when twoPhase is set because the
+// batch contains kNN queries — runs a cheap bound PROBE per kNN query:
+// verify just the top-q.KNN candidates by overlap bound, whose
+// distances the Batch merges across shards into a global kNN cutoff.
+//
+// With twoPhase set the shard RLock is STILL HELD when sweepPhase1
+// returns — the caller must follow up with sweepPhase2, which finishes
+// the kNN queries against the global bounds and releases the lock.
+// Holding the lock across the barrier is what lets phase 2 trust the
+// overlap-bound matrix and candidate indexes computed here. Without
+// twoPhase (range-only batches) the lock is released before returning.
+//
+// qsigs/qpops carry the queries' signatures (parallel to qs). The
+// caller must hand so in with so.delta zeroed; hits are appended to
+// so.neighbors with query qi's segment recorded in
+// so.segs[2qi], so.segs[2qi+1]. Filter accounting accumulates into
+// so.delta (Generated = PrunedSignature + PrunedTriangle + Verified;
+// Emitted counts hits); the probe pass is deliberately unledgered —
+// every entry it touches is re-examined and accounted exactly once by
+// the authoritative phase-2 sweep. Steady state allocates nothing:
+// every buffer lives in so and is grown to its high-water mark once.
+func (s *Shard) sweepPhase1(qs []Query, qsigs []rankings.Sig, qpops []uint8, so *shardOut, twoPhase bool) {
 	s.mu.RLock()
+	n := len(s.entries)
+	B := len(qs)
+	P := len(s.pivots)
+	so.segs = growCap(so.segs, 2*B)[:2*B]
+	for i := range so.segs {
+		so.segs[i] = 0
+	}
+	so.pseg = growCap(so.pseg, 2*B)[:2*B]
+	for i := range so.pseg {
+		so.pseg[i] = 0
+	}
+	so.neighbors = so.neighbors[:0]
+	so.probe = so.probe[:0]
+	if n == 0 || B == 0 {
+		if !twoPhase {
+			s.mu.RUnlock()
+		}
+		return
+	}
+	k := qs[0].R.K() // the index holds one k; checked on entry
+
+	// Pre-size the hit arena from the shard's cardinality: range sweeps
+	// at serving thresholds rarely return more than a small fraction of
+	// the shard per query.
+	if cap(so.neighbors) == 0 {
+		hint := B * (1 + n/16)
+		if hint > B*n {
+			hint = B * n
+		}
+		if hint > 4096 {
+			hint = 4096
+		}
+		so.neighbors = make([]Neighbor, 0, hint)
+	}
+
+	// Phase A: the fused signature pass. One sweep over the dense
+	// sigs/pops arrays fills the query-major overlap-bound matrix
+	// so.ob[qi*n+ei] = upper bound on |entry ei ∩ query qi|
+	// (filters.OverlapUpperBound inlined over the cached columns).
+	sigUsable := k <= maxSignatureK
+	if sigUsable {
+		so.ob = growCap(so.ob, B*n)[:B*n]
+		for ei := 0; ei < n; ei++ {
+			sig := s.sigs[ei]
+			pop := int(s.pops[ei])
+			for qi := 0; qi < B; qi++ {
+				shared := bits.OnesCount64(sig.Lo&qsigs[qi].Lo) +
+					bits.OnesCount64(sig.Hi&qsigs[qi].Hi)
+				ub := shared + k - pop
+				if alt := shared + k - int(qpops[qi]); alt < ub {
+					ub = alt
+				}
+				if ub > k {
+					ub = k
+				}
+				if ub < 0 {
+					ub = 0
+				}
+				so.ob[qi*n+ei] = uint8(ub)
+			}
+		}
+	}
+
+	// Query-to-pivot distance rows, query-major.
+	so.qd = growCap(so.qd, B*P)[:B*P]
+	for qi := 0; qi < B; qi++ {
+		row := so.qd[qi*P : qi*P+P]
+		for p := range s.pivots {
+			row[p] = int32(rankings.Footrule(qs[qi].R, s.pivots[p]))
+		}
+	}
+
+	// Phase B (ranges) / probe (kNN): answer each query off its
+	// overlap-bound row.
 	for qi := range qs {
 		q := &qs[qi]
-		qd := pivotRow(q.R, s.pivots)
+		exclIdx := s.exclIdx(q)
 		if q.KNN > 0 {
-			out[qi] = s.knnLocked(q, qd, &d)
+			start := int32(len(so.probe))
+			s.knnProbe(q, qi, n, k, sigUsable, exclIdx, so)
+			so.pseg[2*qi], so.pseg[2*qi+1] = start, int32(len(so.probe))
 		} else {
-			out[qi] = s.rangeLocked(q, qd, &d)
+			start := int32(len(so.neighbors))
+			s.rangeInto(q, qi, n, k, P, sigUsable, exclIdx, so)
+			so.segs[2*qi], so.segs[2*qi+1] = start, int32(len(so.neighbors))
+		}
+	}
+	if twoPhase {
+		return // still holding s.mu.RLock; sweepPhase2 releases it
+	}
+	s.mu.RUnlock()
+	d := &so.delta
+	if s.notePruning(d.Generated, d.PrunedSignature+d.PrunedTriangle) {
+		s.triggerRePivot()
+	}
+}
+
+// sweepPhase2 finishes a two-phase sweep: with the RLock still held
+// from sweepPhase1 it answers every kNN query with the global distance
+// cutoff gb[qi] the Batch derived from all shards' probes, then
+// releases the lock. gb is admissible — at least q.KNN indexed
+// rankings were verified at or below it — so a candidate whose
+// signature lower bound exceeds it can be discarded before the heap is
+// even full, which is what turns the per-shard kNN scan from
+// verify-almost-everything into a bulk signature reject.
+func (s *Shard) sweepPhase2(qs []Query, gb []int, so *shardOut) {
+	n := len(s.entries)
+	P := len(s.pivots)
+	if n > 0 && len(qs) > 0 {
+		k := qs[0].R.K()
+		sigUsable := k <= maxSignatureK
+		for qi := range qs {
+			q := &qs[qi]
+			if q.KNN <= 0 {
+				continue
+			}
+			exclIdx := s.exclIdx(q)
+			start := int32(len(so.neighbors))
+			s.knnInto(q, qi, n, k, P, sigUsable, exclIdx, gb[qi], so)
+			so.segs[2*qi], so.segs[2*qi+1] = start, int32(len(so.neighbors))
 		}
 	}
 	s.mu.RUnlock()
-	if s.notePruning(d.Generated, d.PrunedTriangle) {
+	d := &so.delta
+	if s.notePruning(d.Generated, d.PrunedSignature+d.PrunedTriangle) {
 		s.triggerRePivot()
 	}
-	return out, d
 }
 
-// rangeLocked scans the shard for rankings within q.MaxDist, pruning
-// with every pivot's triangle lower bound before verifying.
-func (s *Shard) rangeLocked(q *Query, qd []int32, d *obs.FilterDelta) []Neighbor {
-	var hits []Neighbor
-	for i := range s.entries {
-		e := &s.entries[i]
-		if e.r.ID == q.Exclude {
+// exclIdx resolves a query's Exclude id to an entry index with one map
+// probe, replacing a per-entry id comparison in the scan. Must be
+// called with s.mu held.
+func (s *Shard) exclIdx(q *Query) int {
+	if i, ok := s.byID[q.Exclude]; ok {
+		return i
+	}
+	return -1
+}
+
+// rangeInto scans one query's overlap-bound row for rankings within
+// q.MaxDist. The signature reject is a single byte compare per entry
+// (ob < minOverlap ⟺ the admissible Footrule lower bound exceeds
+// q.MaxDist — MinOverlap is the exact integer inverse of
+// MinDistForOverlap); survivors fall through to the per-pivot triangle
+// bound and the Footrule kernel.
+func (s *Shard) rangeInto(q *Query, qi, n, k, P int, sigUsable bool, exclIdx int, so *shardOut) {
+	d := &so.delta
+	d.Generated += int64(n)
+	if exclIdx >= 0 {
+		d.Generated--
+	}
+	minOv := uint8(0)
+	var obRow []uint8
+	if sigUsable {
+		minOv = uint8(filters.MinOverlap(q.MaxDist, k))
+		obRow = so.ob[qi*n : qi*n+n]
+	}
+	qd := so.qd[qi*P : qi*P+P]
+	for ei := 0; ei < n; ei++ {
+		if ei == exclIdx {
 			continue
 		}
-		d.Generated++
+		if obRow != nil && obRow[ei] < minOv {
+			d.PrunedSignature++
+			continue
+		}
+		e := &s.entries[ei]
 		pruned := false
-		for p := range qd {
+		for p := 0; p < P; p++ {
 			if filters.TrianglePrune(int(qd[p]), int(e.pd[p]), q.MaxDist) {
 				pruned = true
 				break
@@ -369,35 +549,152 @@ func (s *Shard) rangeLocked(q *Query, qd []int32, d *obs.FilterDelta) []Neighbor
 		d.Verified++
 		if dist, ok := rankings.FootruleWithin(q.R, e.r, q.MaxDist); ok {
 			d.Emitted++
-			hits = append(hits, Neighbor{ID: e.r.ID, Dist: dist})
+			so.neighbors = append(so.neighbors, Neighbor{ID: e.r.ID, Dist: dist})
 		}
 	}
-	return hits
 }
 
-// knnLocked scans the shard for the q.KNN nearest rankings through a
-// bounded max-heap; once the heap is full the current worst distance
-// tightens both the triangle prune and the verification bound.
-func (s *Shard) knnLocked(q *Query, qd []int32, d *obs.FilterDelta) []Neighbor {
-	h := newResultHeap(q.KNN)
-	maxDist := rankings.MaxFootrule(q.R.K())
-	for i := range s.entries {
-		e := &s.entries[i]
-		if e.r.ID == q.Exclude {
+// orderByOverlap fills so.cand with entry indexes in descending
+// overlap-bound order via a stable counting sort over the query's byte
+// row (ob ≤ k ≤ maxSignatureK fits the fixed histogram).
+func orderByOverlap(obRow []uint8, k int, so *shardOut) {
+	counts := &so.counts
+	for o := 0; o <= k; o++ {
+		counts[o] = 0
+	}
+	for _, o := range obRow {
+		counts[o]++
+	}
+	run := int32(0)
+	for o := k; o >= 0; o-- {
+		c := counts[o]
+		counts[o] = run
+		run += c
+	}
+	so.cand = growCap(so.cand, len(obRow))[:len(obRow)]
+	for ei, o := range obRow {
+		so.cand[counts[o]] = int32(ei)
+		counts[o]++
+	}
+}
+
+// knnProbe verifies just enough candidates to bound one kNN query: the
+// top q.KNN entries by overlap bound (the likeliest true neighbors),
+// appending their exact distances to so.probe. The Batch merges probes
+// from every shard into a global cutoff for sweepPhase2. The probe
+// touches no filter counters — phase 2 re-examines and accounts every
+// entry — and is skipped for shards smaller than q.KNN, whose probe
+// could only repeat phase 2's work without tightening the bound.
+func (s *Shard) knnProbe(q *Query, qi, n, k int, sigUsable bool, exclIdx int, so *shardOut) {
+	if !sigUsable || n <= q.KNN {
+		return
+	}
+	obRow := so.ob[qi*n : qi*n+n]
+	orderByOverlap(obRow, k, so)
+	maxDist := rankings.MaxFootrule(k)
+	found := 0
+	for ci := 0; ci < n && found < q.KNN; ci++ {
+		ei := int(so.cand[ci])
+		if ei == exclIdx {
 			continue
 		}
-		d.Generated++
-		bound := maxDist
-		if h.full() {
-			// A ranking at the worst kept distance can still displace the
-			// root when its id is smaller (the documented (dist, id) tie
-			// order), so the bound must admit equality — worst()-1 here
-			// silently dropped tied smaller-id neighbors that the oracle
-			// returns. push resolves the tie.
-			bound = h.worst()
+		e := &s.entries[ei]
+		if dist, ok := rankings.FootruleWithin(q.R, e.r, maxDist); ok {
+			so.probe = append(so.probe, Neighbor{ID: e.r.ID, Dist: dist})
+			found++
 		}
+	}
+}
+
+// knnInto scans one query's candidates for the q.KNN nearest rankings.
+// With signatures usable, candidates are visited in descending
+// overlap-bound order (a stable counting sort over the byte row): the
+// likeliest neighbors fill and tighten the bounded max-heap first, and
+// as soon as the signature lower bound (k−ō)(k−ō+1) of the current
+// overlap class exceeds the tighter of the heap's worst kept distance
+// and the global probe cutoff gb, every remaining candidate — whose
+// bound can only be lower — is rejected in bulk without touching a
+// single entry. gb must be admissible (≥ the true global q.KNN-th
+// distance under the (dist, id) tie order); rankings.MaxFootrule(k)
+// is always a safe value.
+func (s *Shard) knnInto(q *Query, qi, n, k, P int, sigUsable bool, exclIdx, gb int, so *shardOut) {
+	d := &so.delta
+	d.Generated += int64(n)
+	if exclIdx >= 0 {
+		d.Generated--
+	}
+	h := &so.heap
+	h.reset(q.KNN)
+	qd := so.qd[qi*P : qi*P+P]
+
+	if !sigUsable {
+		for ei := 0; ei < n; ei++ {
+			if ei == exclIdx {
+				continue
+			}
+			bound := gb
+			if h.full() {
+				// A ranking at the worst kept distance can still displace
+				// the root when its id is smaller (the documented
+				// (dist, id) tie order), so the bound must admit equality.
+				if w := h.worst(); w < bound {
+					bound = w
+				}
+			}
+			e := &s.entries[ei]
+			pruned := false
+			for p := 0; p < P; p++ {
+				if filters.TrianglePrune(int(qd[p]), int(e.pd[p]), bound) {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				d.PrunedTriangle++
+				continue
+			}
+			d.Verified++
+			if dist, ok := rankings.FootruleWithin(q.R, e.r, bound); ok {
+				d.Emitted++
+				h.push(Neighbor{ID: e.r.ID, Dist: dist})
+			}
+		}
+		so.neighbors = h.appendSorted(so.neighbors)
+		return
+	}
+
+	obRow := so.ob[qi*n : qi*n+n]
+	orderByOverlap(obRow, k, so)
+
+	exclSeen := exclIdx < 0
+	for ci := 0; ci < n; ci++ {
+		ei := int(so.cand[ci])
+		if ei == exclIdx {
+			exclSeen = true
+			continue
+		}
+		bound := gb
+		if h.full() {
+			if w := h.worst(); w < bound { // must admit equality; see above
+				bound = w
+			}
+		}
+		o := int(obRow[ei])
+		m := k - o
+		if m*(m+1) > bound {
+			// Every remaining candidate has an overlap bound ≤ ō, so its
+			// Footrule lower bound is ≥ (k−ō)(k−ō+1) > bound: reject the
+			// whole tail at once.
+			rem := int64(n - ci)
+			if !exclSeen {
+				rem--
+			}
+			d.PrunedSignature += rem
+			break
+		}
+		e := &s.entries[ei]
 		pruned := false
-		for p := range qd {
+		for p := 0; p < P; p++ {
 			if filters.TrianglePrune(int(qd[p]), int(e.pd[p]), bound) {
 				pruned = true
 				break
@@ -413,7 +710,16 @@ func (s *Shard) knnLocked(q *Query, qd []int32, d *obs.FilterDelta) []Neighbor {
 			h.push(Neighbor{ID: e.r.ID, Dist: dist})
 		}
 	}
-	return h.sorted()
+	so.neighbors = h.appendSorted(so.neighbors)
+}
+
+// growCap returns s with capacity at least n (contents unspecified),
+// reallocating only when the high-water mark grows.
+func growCap[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 func (s *Shard) String() string {

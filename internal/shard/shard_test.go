@@ -188,12 +188,14 @@ func TestRePivot(t *testing.T) {
 			t.Fatalf("post-repivot query %d: got %v want %v", q.ID, got, want)
 		}
 	}
-	// Pruning should actually engage once pivots exist.
+	// Pruning should actually engage once pivots exist (the signature
+	// prefilter rejects most candidates before the pivot table sees
+	// them, so the two classes are asserted together).
 	f := x.Filters().Snapshot()
-	if f.PrunedTriangle == 0 {
-		t.Fatalf("pivot pruning never fired: %v", f)
+	if f.PrunedSignature+f.PrunedTriangle == 0 {
+		t.Fatalf("pruning never fired: %v", f)
 	}
-	if f.Generated != f.PrunedTriangle+f.Verified {
+	if f.Generated != f.PrunedSignature+f.PrunedTriangle+f.Verified {
 		t.Fatalf("filter conservation violated: %v", f)
 	}
 }

@@ -75,6 +75,14 @@ func JoinRS(ctx *flow.Context, r, s []*rankings.Ranking, opts Options) ([]rankin
 			return out
 		}
 		st.Candidates++
+		if xk := x.R.K(); y.R.K() == xk {
+			xsig, xpop := x.R.Signature()
+			ysig, ypop := y.R.Signature()
+			if filters.SignaturePrune(xsig, xpop, ysig, ypop, xk, maxDist) {
+				st.PrunedSignature++
+				return out
+			}
+		}
 		if filters.PositionPrune(x.R, y.R, maxDist) {
 			st.PrunedPosition++
 			return out

@@ -12,11 +12,12 @@ import (
 // observations (posting-list sizes, repartition decisions). All fields
 // are safe for concurrent use; a nil *Stats is a valid no-op sink.
 type Stats struct {
-	Candidates     atomic.Int64
-	PrunedPrefix   atomic.Int64
-	PrunedPosition atomic.Int64
-	Verified       atomic.Int64
-	Results        atomic.Int64
+	Candidates      atomic.Int64
+	PrunedPrefix    atomic.Int64
+	PrunedSignature atomic.Int64
+	PrunedPosition  atomic.Int64
+	Verified        atomic.Int64
+	Results         atomic.Int64
 
 	Groups       atomic.Int64 // posting lists processed
 	GroupsSplit  atomic.Int64 // posting lists above δ, repartitioned
@@ -30,6 +31,7 @@ func (s *Stats) AddKernel(k ppjoin.Stats) {
 	}
 	s.Candidates.Add(k.Candidates)
 	s.PrunedPrefix.Add(k.PrunedPrefix)
+	s.PrunedSignature.Add(k.PrunedSignature)
 	s.PrunedPosition.Add(k.PrunedPosition)
 	s.Verified.Add(k.Verified)
 	s.Results.Add(k.Results)
@@ -57,30 +59,32 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		return StatsSnapshot{}
 	}
 	return StatsSnapshot{
-		Candidates:     s.Candidates.Load(),
-		PrunedPrefix:   s.PrunedPrefix.Load(),
-		PrunedPosition: s.PrunedPosition.Load(),
-		Verified:       s.Verified.Load(),
-		Results:        s.Results.Load(),
-		Groups:         s.Groups.Load(),
-		GroupsSplit:    s.GroupsSplit.Load(),
-		LargestGroup:   s.LargestGroup.Load(),
+		Candidates:      s.Candidates.Load(),
+		PrunedPrefix:    s.PrunedPrefix.Load(),
+		PrunedSignature: s.PrunedSignature.Load(),
+		PrunedPosition:  s.PrunedPosition.Load(),
+		Verified:        s.Verified.Load(),
+		Results:         s.Results.Load(),
+		Groups:          s.Groups.Load(),
+		GroupsSplit:     s.GroupsSplit.Load(),
+		LargestGroup:    s.LargestGroup.Load(),
 	}
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
 type StatsSnapshot struct {
-	Candidates     int64
-	PrunedPrefix   int64
-	PrunedPosition int64
-	Verified       int64
-	Results        int64
-	Groups         int64
-	GroupsSplit    int64
-	LargestGroup   int64
+	Candidates      int64
+	PrunedPrefix    int64
+	PrunedSignature int64
+	PrunedPosition  int64
+	Verified        int64
+	Results         int64
+	Groups          int64
+	GroupsSplit     int64
+	LargestGroup    int64
 }
 
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("candidates=%d prunedPrefix=%d prunedPosition=%d verified=%d results=%d groups=%d split=%d largest=%d",
-		s.Candidates, s.PrunedPrefix, s.PrunedPosition, s.Verified, s.Results, s.Groups, s.GroupsSplit, s.LargestGroup)
+	return fmt.Sprintf("candidates=%d prunedPrefix=%d prunedSignature=%d prunedPosition=%d verified=%d results=%d groups=%d split=%d largest=%d",
+		s.Candidates, s.PrunedPrefix, s.PrunedSignature, s.PrunedPosition, s.Verified, s.Results, s.Groups, s.GroupsSplit, s.LargestGroup)
 }

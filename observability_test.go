@@ -40,12 +40,15 @@ func TestFilterConservation(t *testing.T) {
 }
 
 // TestCLPAllFilterClassesFire pins a configuration where every pruning
-// class of the CL-P cascade is exercised at once: prefix and position
-// pruning in the clustering/joining phases, triangle pruning in the
-// expansion phase. This is the regime the BENCH_2 report captures.
+// class of the CL-P cascade is exercised at once: signature, prefix and
+// position pruning in the clustering/joining phases, triangle pruning
+// in the expansion phase. The item domain is deliberately small (heavy
+// item overlap): position pruning only fires on pairs that share items
+// but misalign them, exactly the pairs the cheaper signature prefilter
+// cannot touch.
 func TestCLPAllFilterClassesFire(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	rs := testutil.ClusteredDataset(rng, 300, 4, 10, 300)
+	rs := testutil.ClusteredDataset(rng, 300, 4, 10, 40)
 	res, err := rankjoin.Join(rs, rankjoin.Options{
 		Algorithm: rankjoin.AlgCLP,
 		Theta:     0.3,
@@ -55,7 +58,7 @@ func TestCLPAllFilterClassesFire(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := res.Filters
-	if f.PrunedPrefix == 0 || f.PrunedPosition == 0 || f.PrunedTriangle == 0 {
+	if f.PrunedPrefix == 0 || f.PrunedSignature == 0 || f.PrunedPosition == 0 || f.PrunedTriangle == 0 {
 		t.Errorf("expected all pruning classes non-zero, got %s", f)
 	}
 	if !f.Conserved() {

@@ -188,10 +188,11 @@ type Result struct {
 	// Options.Stats was set (nil otherwise).
 	Kernel *vj.StatsSnapshot
 	// Filters is the filter-effectiveness tally of the run: candidates
-	// generated and their fates (pruned by prefix, position or triangle
-	// inequality, accepted unverified, verified). Always collected; the
-	// counts obey Generated == PrunedPrefix + PrunedPosition +
-	// PrunedTriangle + AcceptedUnverified + Verified.
+	// generated and their fates (pruned by prefix, item signature,
+	// position or triangle inequality, accepted unverified, verified).
+	// Always collected; the counts obey Generated == PrunedPrefix +
+	// PrunedSignature + PrunedPosition + PrunedTriangle +
+	// AcceptedUnverified + Verified.
 	Filters FilterStats
 	// Engine is a snapshot of the engine counters accumulated by this
 	// run (shuffled records, tasks, spills, largest partition, skew
