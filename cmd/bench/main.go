@@ -45,6 +45,13 @@
 //     -max-regress (default 25%); CI runs this against
 //     results/bench_baseline.json on every push.
 //
+// Telemetry flags (Bench 5):
+//
+//   - -serve-guard replays one request sequence through the in-process
+//     rankserved handler stack with serving-plane telemetry at
+//     production defaults vs fully disabled (min of -guard-rounds) and
+//     fails when telemetry costs more than 2%.
+//
 // Usage:
 //
 //	go run ./cmd/bench -out BENCH_4.json -trace-out trace.json -guard -serve -shard
@@ -91,6 +98,7 @@ func main() {
 	guardRounds := flag.Int("guard-rounds", 5, "rounds per mode for the -guard comparison (min wins)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address for the duration")
 	serve := flag.Bool("serve", false, "benchmark the rankserved HTTP stack (QPS, p50/p99 latency)")
+	serveGuard := flag.Bool("serve-guard", false, "fail if serving-plane telemetry adds >2% to request handling")
 	shardFlag := flag.Bool("shard", false, "benchmark the shard.Batch serving path (ns/op, allocs/op)")
 	baseline := flag.String("baseline", "", "fail when shared benchmarks regress beyond -max-regress vs this report")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression for -baseline comparisons")
@@ -157,6 +165,13 @@ func main() {
 		for _, r := range srs {
 			add(r)
 		}
+	}
+	if *serveGuard {
+		r, err := telemetryGuard(*guardRounds)
+		if err != nil {
+			fatal(err)
+		}
+		add(r)
 	}
 	if *baseline != "" {
 		if err := compareBaseline(rep, *baseline, *maxRegress); err != nil {

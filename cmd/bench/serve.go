@@ -82,6 +82,110 @@ func serveBench(n int) ([]result, error) {
 	return out, nil
 }
 
+// telemetryGuard is the serving-plane analogue of overheadGuard: it
+// drives an identical request sequence through the in-process handler
+// stack with telemetry at production defaults (head sampling, tail
+// sampling, window loop, request IDs) and with every telemetry knob
+// disabled, min wall time of `rounds` each, and fails when telemetry
+// costs more than 2% plus an absolute slack that keeps short CI smoke
+// runs out of timer-noise territory.
+func telemetryGuard(rounds int) (result, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	const (
+		guardN        = 2000
+		guardRequests = 4000
+	)
+	rng := rand.New(rand.NewSource(7))
+	data := testutil.ClusteredDataset(rng, guardN/5, 5, serveK, 30*serveK)
+
+	// Pre-marshal the request sequence once: both modes replay the exact
+	// same bytes, so cache behaviour and coalescing match too.
+	paths := make([]string, guardRequests)
+	bodies := make([][]byte, guardRequests)
+	qrng := rand.New(rand.NewSource(11))
+	for i := range bodies {
+		id := data[qrng.Intn(len(data))].ID
+		if i%2 == 0 {
+			paths[i] = "/v1/search"
+			bodies[i] = []byte(fmt.Sprintf(`{"id":%d,"theta":%g}`, id, serveTheta))
+		} else {
+			paths[i] = "/v1/knn"
+			bodies[i] = []byte(fmt.Sprintf(`{"id":%d,"k":%d}`, id, serveKNN))
+		}
+	}
+
+	run := func(telemetry bool) (time.Duration, error) {
+		idx := shard.New(shard.Config{})
+		for _, r := range data {
+			if err := idx.Insert(r); err != nil {
+				return 0, err
+			}
+		}
+		cfg := server.Config{Index: idx}
+		if !telemetry {
+			cfg.TraceSampleEvery = -1
+			cfg.SlowThreshold = -1
+			cfg.WindowInterval = -1
+		}
+		srv := server.New(cfg)
+		defer srv.Close()
+		h := srv.Handler()
+		start := time.Now()
+		for i := range bodies {
+			req := httptest.NewRequest(http.MethodPost, paths[i], bytes.NewReader(bodies[i]))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				return 0, fmt.Errorf("%s: status %d (%s)", paths[i], rec.Code, rec.Body.Bytes())
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	// Alternate modes within each round (after one warm-up of both) so
+	// machine drift hits both equally — same discipline as overheadGuard.
+	var disabled, enabled time.Duration
+	for i := -1; i < rounds; i++ {
+		d, err := run(false)
+		if err != nil {
+			return result{}, err
+		}
+		en, err := run(true)
+		if err != nil {
+			return result{}, err
+		}
+		if i < 0 {
+			continue // warm-up round
+		}
+		if disabled == 0 || d < disabled {
+			disabled = d
+		}
+		if enabled == 0 || en < enabled {
+			enabled = en
+		}
+	}
+	ratio := float64(enabled) / float64(disabled)
+	const slack = 25 * time.Millisecond
+	limit := time.Duration(float64(disabled)*1.02) + slack
+	if enabled > limit {
+		return result{}, fmt.Errorf("telemetry overhead guard: enabled %v > %v (disabled %v, ratio %.3f)",
+			enabled, limit, disabled, ratio)
+	}
+	return result{
+		Name:    "guard/telemetry_overhead/serve",
+		NsPerOp: float64(disabled.Nanoseconds()) / float64(guardRequests),
+		Metrics: map[string]float64{
+			"disabled_ns": float64(disabled.Nanoseconds()),
+			"enabled_ns":  float64(enabled.Nanoseconds()),
+			"ratio":       ratio,
+			"rounds":      float64(rounds),
+			"requests":    guardRequests,
+		},
+	}, nil
+}
+
 // hammer fires serveRequests requests at url from serveClients
 // concurrent workers and returns QPS plus exact latency quantiles.
 func hammer(url string, data []*rankings.Ranking, body func(id int64) any) (*result, error) {

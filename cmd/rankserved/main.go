@@ -13,6 +13,14 @@
 //	curl -s localhost:7357/v1/knn -d '{"id":42,"k":10}'
 //	curl -s localhost:7357/v1/insert -d '{"rankings":[{"id":7,"items":[9,8,7,6,5]}]}'
 //	curl -s localhost:7357/statusz | jq .
+//	curl -s localhost:7357/metrics
+//	curl -s localhost:7357/debug/traces | jq .
+//
+// Logs are structured (log/slog); -log-format json emits one JSON
+// object per line for log shippers, -log-level debug adds a per-request
+// access line. Every response carries an X-Request-Id header (honored
+// from the request when present) that retrieves the request's trace
+// from /debug/trace/{id} when it was sampled or slow.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops accepting, in-flight requests drain (bounded by -timeout), and
@@ -23,7 +31,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -38,47 +46,64 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rankserved: ")
-
 	var (
-		addr      = flag.String("addr", "localhost:7357", "listen address (use :0 for a free port)")
-		addrFile  = flag.String("addr-file", "", "write the bound address to this file (for scripts)")
-		data      = flag.String("data", "", "preload this dataset file (optional)")
-		shards    = flag.Int("shards", 8, "number of index shards")
-		pivots    = flag.Int("pivots", 8, "pivots per shard")
-		seed      = flag.Int64("seed", 1, "pivot-selection seed")
-		cacheSize = flag.Int("cache", 1024, "query-cache entries (negative disables)")
-		maxBatch  = flag.Int("max-batch", 64, "max coalesced searches per shard sweep")
-		timeout   = flag.Duration("timeout", 5*time.Second, "per-request deadline")
-		debugAddr = flag.String("debug-addr", "", "serve expvar+pprof on this address")
+		addr        = flag.String("addr", "localhost:7357", "listen address (use :0 for a free port)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file (for scripts)")
+		data        = flag.String("data", "", "preload this dataset file (optional)")
+		shards      = flag.Int("shards", 8, "number of index shards")
+		pivots      = flag.Int("pivots", 8, "pivots per shard")
+		seed        = flag.Int64("seed", 1, "pivot-selection seed")
+		cacheSize   = flag.Int("cache", 1024, "query-cache entries (negative disables)")
+		maxBatch    = flag.Int("max-batch", 64, "max coalesced searches per shard sweep")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request deadline")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar+pprof on this address")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		traceSample = flag.Int("trace-sample", 64, "head-sample every Nth request per endpoint (negative disables)")
+		slowThresh  = flag.Duration("slow", 250*time.Millisecond, "tail-sample and warn-log requests at least this slow (negative disables)")
+		traceRing   = flag.Int("trace-ring", 32, "retained recent and slow traces, each")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rankserved:", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.Any("err", err))
+		os.Exit(1)
+	}
 
 	idx := shard.New(shard.Config{Shards: *shards, PivotsPerShard: *pivots, Seed: *seed})
 	if *data != "" {
 		f, err := os.Open(*data)
 		if err != nil {
-			log.Fatal(err)
+			fatal("open dataset", err)
 		}
 		rs, err := rankings.Read(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			fatal("read dataset", err)
 		}
 		for _, r := range rs {
 			if err := idx.Insert(r); err != nil {
-				log.Fatalf("preload %s: %v", *data, err)
+				fatal("preload "+*data, err)
 			}
 		}
-		log.Printf("preloaded %d rankings (k=%d) into %d shards", idx.Len(), idx.K(), *shards)
+		logger.Info("preloaded dataset", slog.String("file", *data),
+			slog.Int("rankings", idx.Len()), slog.Int("k", idx.K()), slog.Int("shards", *shards))
 	}
 
 	srv := server.New(server.Config{
-		Index:          idx,
-		CacheSize:      *cacheSize,
-		MaxBatch:       *maxBatch,
-		RequestTimeout: *timeout,
+		Index:            idx,
+		CacheSize:        *cacheSize,
+		MaxBatch:         *maxBatch,
+		RequestTimeout:   *timeout,
+		Logger:           logger,
+		TraceSampleEvery: *traceSample,
+		SlowThreshold:    *slowThresh,
+		TraceRingSize:    *traceRing,
 	})
 	defer srv.Close()
 
@@ -86,43 +111,62 @@ func main() {
 		obs.Publish("rankserved", func() any { return srv.Status() })
 		dbg, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
-			log.Fatal(err)
+			fatal("debug listener", err)
 		}
 		defer dbg.Close()
-		log.Printf("debug listener on http://%s/debug/vars", dbg.Addr())
+		logger.Info("debug listener up", slog.String("url", "http://"+dbg.Addr()+"/debug/vars"))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", err)
 	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
-			log.Fatal(err)
+			fatal("write addr-file", err)
 		}
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	log.Printf("serving on http://%s (shards=%d pivots=%d cache=%d)",
-		ln.Addr(), *shards, *pivots, *cacheSize)
+	logger.Info("serving", slog.String("addr", ln.Addr().String()),
+		slog.Int("shards", *shards), slog.Int("pivots", *pivots),
+		slog.Int("cache", *cacheSize), slog.Int("trace_sample", *traceSample),
+		slog.Duration("slow", *slowThresh))
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		log.Printf("received %v, draining", sig)
+		logger.Info("draining", slog.String("signal", sig.String()))
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout+2*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", slog.Any("err", err))
 			os.Exit(1)
 		}
-		log.Print("drained, bye")
+		logger.Info("drained, bye")
 	case err := <-errCh:
 		if err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "rankserved:", err)
-			os.Exit(1)
+			fatal("serve", err)
 		}
+	}
+}
+
+// buildLogger assembles the shared slog logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
 	}
 }

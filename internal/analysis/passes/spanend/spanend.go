@@ -20,11 +20,17 @@
 //     path (unless the return is directly preceded by its own End
 //     call).
 //
-// Spans that escape the function — passed to another call, returned,
-// stored in a struct or collection — transfer ownership and are not
-// tracked. Deferred Ends (including inside deferred closures) satisfy
-// the invariant unconditionally; End is idempotent, so defer + explicit
-// early End is the blessed belt-and-suspenders pattern.
+// Spans that escape the function — returned, stored in a struct or
+// collection, appended to a slice, captured by a closure, or handed to
+// a call under defer or go — transfer ownership and are not tracked.
+// A span passed as a plain (synchronous) call argument is only
+// *borrowed*: the callee may annotate it or attach children — the
+// per-request serving path hands its sweep span to SearchBatchInto
+// this way — but the starter still owns the lifecycle, so End on all
+// paths is still required. Deferred Ends (including inside deferred
+// closures) satisfy the invariant unconditionally; End is idempotent,
+// so defer + explicit early End is the blessed belt-and-suspenders
+// pattern.
 package spanend
 
 import (
@@ -266,9 +272,23 @@ func classifyUse(pass *analysis.Pass, id *ast.Ident, stack []ast.Node, start *as
 			}
 		}
 	}
-	// Anything else — call argument, return operand, struct literal,
-	// map/slice store, channel send, comparison, reassignment source —
-	// lets the span escape our intraprocedural view.
+	// A plain synchronous call argument is a borrow, not a transfer: the
+	// callee may annotate the span but the starter keeps the lifecycle,
+	// so keep tracking. Exceptions stay escapes: append (stores into a
+	// slice) and calls that run later (under defer, go, or inside a
+	// function literal) — those may legitimately End it.
+	if len(stack) >= 1 && !deferredOrConcurrent(stack) {
+		if c, ok := stack[len(stack)-1].(*ast.CallExpr); ok && c.Fun != ast.Expr(id) && !isAppend(pass, c) {
+			for _, a := range c.Args {
+				if a == ast.Expr(id) {
+					return
+				}
+			}
+		}
+	}
+	// Anything else — return operand, struct literal, map/slice store,
+	// channel send, comparison, reassignment source — lets the span
+	// escape our intraprocedural view.
 	uses.escapes = true
 }
 
@@ -285,6 +305,33 @@ func underDeferOrClosure(stack []ast.Node) bool {
 		}
 	}
 	return false
+}
+
+// deferredOrConcurrent reports whether the ancestor chain passes a
+// defer statement, a go statement, or a function literal — contexts in
+// which a call argument use may outlive the current statement and run
+// End itself, so borrowing semantics don't apply.
+func deferredOrConcurrent(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.DeferStmt, *ast.GoStmt, *ast.FuncLit:
+			return true
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// isAppend reports whether c calls the append builtin (which stores its
+// arguments — an ownership transfer, not a borrow).
+func isAppend(pass *analysis.Pass, c *ast.CallExpr) bool {
+	id, ok := c.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
 }
 
 // returnsBetween collects return statements positioned in (after, before)

@@ -86,9 +86,50 @@ func phasePattern(tr *Tracer) {
 	sp.End()
 }
 
-func escapes(tr *Tracer) {
+func borrowedByCall(tr *Tracer) {
+	sp := tr.StartScope("x") // want `span sp is never ended in this function`
+	consume(sp)              // a plain call argument borrows; End stays owed here
+}
+
+func borrowedByCallEnded(tr *Tracer) {
 	sp := tr.StartScope("x")
 	consume(sp)
+	sp.End()
+}
+
+func borrowReturnLeak(tr *Tracer, fail bool) error {
+	sp := tr.StartScope("x")
+	consume(sp)
+	if fail {
+		return errEarly // want `return leaks span sp`
+	}
+	sp.End()
+	return nil
+}
+
+func escapesByReturn(tr *Tracer) *Span {
+	sp := tr.StartScope("x")
+	return sp // ownership transfers to the caller: not tracked
+}
+
+func escapesByAppend(tr *Tracer, sink []*Span) []*Span {
+	sp := tr.StartScope("x")
+	return append(sink, sp) // append stores the span: not tracked
+}
+
+func escapesByDeferredCall(tr *Tracer) {
+	sp := tr.StartScope("x")
+	defer consume(sp) // deferred callee may End it: not tracked
+}
+
+func escapesByGo(tr *Tracer) {
+	sp := tr.StartScope("x")
+	go consume(sp) // concurrent callee may End it: not tracked
+}
+
+func escapesByClosure(tr *Tracer) func() {
+	sp := tr.StartScope("x")
+	return func() { consume(sp) } // closure capture: not tracked
 }
 
 func suppressedSameLine(tr *Tracer) {

@@ -123,6 +123,44 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 	return s.Max
 }
 
+// Sub returns the observations recorded between old and s: two
+// cumulative snapshots of the same histogram turn into the delta over
+// the interval separating them. Count and Sum subtract exactly; the
+// delta's Max is only bracketed (the exact maximum of the interval is
+// not recoverable from cumulative buckets), reported as the upper edge
+// of the highest bucket that grew, capped at the cumulative Max.
+// Counter resets (old ahead of s) clamp to an empty delta.
+func (s HistogramSnapshot) Sub(old HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{Count: s.Count - old.Count, Sum: s.Sum - old.Sum}
+	if d.Count <= 0 {
+		return HistogramSnapshot{}
+	}
+	if d.Sum < 0 {
+		d.Sum = 0
+	}
+	top := -1
+	for i, n := range s.Buckets {
+		m := n - old.Buckets[i]
+		if m <= 0 {
+			continue
+		}
+		if d.Buckets == nil {
+			d.Buckets = make(map[int]int64, len(s.Buckets))
+		}
+		d.Buckets[i] = m
+		if i > top {
+			top = i
+		}
+	}
+	if top >= 0 {
+		d.Max = BucketUpper(top) - 1
+		if d.Max > s.Max {
+			d.Max = s.Max
+		}
+	}
+	return d
+}
+
 // Mean returns the exact average of the observations (0 when empty).
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {

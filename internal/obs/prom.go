@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MetricWriter renders metrics in the Prometheus text exposition
+// format (version 0.0.4) with nothing but the stdlib — the /metrics
+// endpoint of rankserved is built on it. Usage is declarative and
+// ordered: Metric emits the # HELP / # TYPE preamble of a family, then
+// Value / Int / Histogram emit its samples. The writer latches the
+// first write error; check Err once at the end instead of per call.
+type MetricWriter struct {
+	w   io.Writer
+	err error
+}
+
+// Label is one name="value" sample label.
+type Label struct {
+	Name, Value string
+}
+
+// NewMetricWriter wraps w.
+func NewMetricWriter(w io.Writer) *MetricWriter { return &MetricWriter{w: w} }
+
+// Err returns the first write error encountered.
+func (m *MetricWriter) Err() error { return m.err }
+
+func (m *MetricWriter) print(s string) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = io.WriteString(m.w, s)
+}
+
+// escapeHelp escapes a HELP docstring: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double-quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Metric opens a metric family: emits its # HELP and # TYPE lines.
+// typ is one of "counter", "gauge", "histogram".
+func (m *MetricWriter) Metric(name, typ, help string) {
+	var b strings.Builder
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+	m.print(b.String())
+}
+
+func appendLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// Value emits one float-valued sample line.
+func (m *MetricWriter) Value(name string, value float64, labels ...Label) {
+	var b strings.Builder
+	b.WriteString(name)
+	appendLabels(&b, labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	b.WriteByte('\n')
+	m.print(b.String())
+}
+
+// Int emits one integer-valued sample line (exact, no float rounding).
+func (m *MetricWriter) Int(name string, value int64, labels ...Label) {
+	var b strings.Builder
+	b.WriteString(name)
+	appendLabels(&b, labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(value, 10))
+	b.WriteByte('\n')
+	m.print(b.String())
+}
+
+// Histogram renders a power-of-two HistogramSnapshot as a native
+// Prometheus histogram: cumulative <name>_bucket series with le upper
+// bounds, plus <name>_sum and <name>_count. The caller must have opened
+// the family with Metric(name, "histogram", ...).
+//
+// Observations are integers in the histogram's native unit; per is how
+// many of those units make one exposition unit (e.g. 1e6 for
+// microsecond observations exported as seconds; 0 or 1 for none). A
+// divisor rather than a multiplier because powers of ten are exact as
+// divisors — 5106 µs renders as 0.005106, not 0.005105999…9. Bucket i
+// of the source holds values in [2^(i-1), 2^i), so le = (2^i − 1)/per
+// is an exact inclusive upper bound for integer data and the cumulative
+// counts are exact, not approximations. Only buckets that hold
+// observations emit a line (plus the mandatory le="+Inf"), keeping
+// series count bounded by data shape rather than the 65-bucket range.
+func (m *MetricWriter) Histogram(name string, s HistogramSnapshot, per float64, labels ...Label) {
+	if per == 0 {
+		per = 1
+	}
+	le := append(append([]Label(nil), labels...), Label{Name: "le"})
+	cum := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		n, ok := s.Buckets[i]
+		if !ok || n <= 0 {
+			continue
+		}
+		cum += n
+		le[len(le)-1].Value = strconv.FormatFloat(float64(BucketUpper(i)-1)/per, 'g', -1, 64)
+		m.Int(name+"_bucket", cum, le...)
+	}
+	le[len(le)-1].Value = "+Inf"
+	m.Int(name+"_bucket", s.Count, le...)
+	m.Value(name+"_sum", float64(s.Sum)/per, labels...)
+	m.Int(name+"_count", s.Count, labels...)
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestMetricWriterGolden(t *testing.T) {
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Metric("test_requests_total", "counter", "Total requests.")
+	m.Int("test_requests_total", 42, Label{Name: "path", Value: "/search"})
+	m.Metric("test_ratio", "gauge", `Quoted "help" with \slash
+and newline.`)
+	m.Value("test_ratio", 0.5, Label{Name: "q", Value: `a"b\c` + "\nd"})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{path="/search"} 42
+# HELP test_ratio Quoted "help" with \\slash\nand newline.
+# TYPE test_ratio gauge
+test_ratio{q="a\"b\\c\nd"} 0.5
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMetricWriterHistogram(t *testing.T) {
+	var h Histogram
+	// µs-scale observations exported as seconds.
+	for _, v := range []int64{0, 3, 3, 100, 5000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Metric("test_latency_seconds", "histogram", "Latency.")
+	m.Histogram("test_latency_seconds", h.Snapshot(), 1e6, Label{Name: "path", Value: "/knn"})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	// 0 → bucket 0 (le = 0), 3 → bucket 2 (le = 3e-06), 100 → bucket 7
+	// (le = 1.27e-04), 5000 → bucket 13 (le = 8.191e-03); cumulative.
+	for _, line := range []string{
+		`test_latency_seconds_bucket{path="/knn",le="0"} 1`,
+		`test_latency_seconds_bucket{path="/knn",le="3e-06"} 3`,
+		`test_latency_seconds_bucket{path="/knn",le="0.000127"} 4`,
+		`test_latency_seconds_bucket{path="/knn",le="0.008191"} 5`,
+		`test_latency_seconds_bucket{path="/knn",le="+Inf"} 5`,
+		`test_latency_seconds_sum{path="/knn"} 0.005106`,
+		`test_latency_seconds_count{path="/knn"} 5`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("missing line %q in:\n%s", line, got)
+		}
+	}
+	// Buckets must be cumulative and monotone.
+	prev := int64(-1)
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.HasPrefix(line, "test_latency_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("non-monotone buckets at %q", line)
+		}
+		prev = v
+	}
+}
+
+func TestMetricWriterEmptyHistogram(t *testing.T) {
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Metric("test_empty", "histogram", "Empty.")
+	m.Histogram("test_empty", HistogramSnapshot{}, 0)
+	got := b.String()
+	for _, line := range []string{
+		`test_empty_bucket{le="+Inf"} 0`,
+		`test_empty_sum 0`,
+		`test_empty_count 0`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, got)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRecord is one retained request trace: identity, coarse timing,
+// and the tracer holding the span tree (renderable as Chrome trace
+// JSON via Tracer.WriteChromeTrace).
+type TraceRecord struct {
+	ID      string    // request ID (X-Request-ID)
+	Name    string    // root span name, e.g. "http /search"
+	Start   time.Time // wall-clock request start
+	Dur     time.Duration
+	Slow    bool // retained by the tail sampler (latency threshold)
+	Sampled bool // head-sampled (full span tree, not synthetic)
+	Tracer  *Tracer
+}
+
+// TraceRing retains a bounded set of request traces along two axes:
+// the most recent sampled requests (FIFO ring) and the slowest-seen
+// tail-sampled requests (kept until displaced by slower ones once
+// full). Records stay addressable by request ID for /debug/trace/{id}
+// as long as either ring holds them.
+type TraceRing struct {
+	mu     sync.Mutex
+	cap    int
+	recent []*TraceRecord // ring, oldest first
+	slow   []*TraceRecord // ring, oldest first
+	byID   map[string]*TraceRecord
+}
+
+// NewTraceRing creates a ring retaining up to capacity recent and
+// capacity slow traces (minimum 1 each).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{cap: capacity, byID: make(map[string]*TraceRecord, 2*capacity)}
+}
+
+// Add retains rec: in the recent ring always, and in the slow ring
+// when rec.Slow. A nil *TraceRing is a no-op sink.
+func (r *TraceRing) Add(rec *TraceRecord) {
+	if r == nil || rec == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recent) == r.cap {
+		old := r.recent[0]
+		r.recent = append(r.recent[:0], r.recent[1:]...)
+		r.evict(old)
+	}
+	r.recent = append(r.recent, rec)
+	if rec.Slow {
+		if len(r.slow) == r.cap {
+			old := r.slow[0]
+			r.slow = append(r.slow[:0], r.slow[1:]...)
+			r.evict(old)
+		}
+		r.slow = append(r.slow, rec)
+	}
+	if rec.ID != "" {
+		r.byID[rec.ID] = rec
+	}
+}
+
+// evict drops old's ID mapping — but only if the map still points at
+// this exact record (the same ID may have been re-added by a newer
+// request) and no ring still holds it (a slow record outlives its
+// recent-ring slot).
+func (r *TraceRing) evict(old *TraceRecord) {
+	if old.ID == "" || r.byID[old.ID] != old {
+		return
+	}
+	for _, rec := range r.recent {
+		if rec == old {
+			return
+		}
+	}
+	for _, rec := range r.slow {
+		if rec == old {
+			return
+		}
+	}
+	delete(r.byID, old.ID)
+}
+
+// Get returns the record for a request ID, or nil.
+func (r *TraceRing) Get(id string) *TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Recent returns the retained recent traces, newest first.
+func (r *TraceRing) Recent() []*TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return reversed(r.recent)
+}
+
+// Slow returns the retained slow traces, newest first.
+func (r *TraceRing) Slow() []*TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return reversed(r.slow)
+}
+
+func reversed(in []*TraceRecord) []*TraceRecord {
+	out := make([]*TraceRecord, len(in))
+	for i, rec := range in {
+		out[len(in)-1-i] = rec
+	}
+	return out
+}

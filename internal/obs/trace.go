@@ -44,6 +44,34 @@ func NewTracer() *Tracer {
 	return &Tracer{base: time.Now(), nextTrack: 1}
 }
 
+// NewTracerAt starts an empty trace whose span-time zero is base — used
+// to reconstruct a trace for an event that already happened (the tail
+// sampler building a retroactive trace for a slow request it did not
+// head-sample).
+func NewTracerAt(base time.Time) *Tracer {
+	return &Tracer{base: base, nextTrack: 1}
+}
+
+// Complete records an already-finished root span: a span that started
+// at the given wall-clock time and ran for dur. It is the retroactive
+// counterpart of StartScope+End for work observed only after the fact;
+// the returned span is done and never needs End. Returns nil on a nil
+// tracer.
+func (t *Tracer) Complete(name string, start time.Time, dur time.Duration, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	s := &Span{tracer: t, name: name, start: start.Sub(t.base), dur: dur, done: true, attrs: attrs}
+	if s.start < 0 {
+		s.start = 0
+	}
+	t.attach(nil, s)
+	return s
+}
+
 // Span is one timed region of the trace. All methods are safe on a
 // nil receiver (they no-op and return nil), so call sites need no
 // enabled-checks beyond holding a possibly-nil span.

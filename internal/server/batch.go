@@ -33,14 +33,11 @@ type batcher struct {
 	sweeps     atomic.Int64
 	coalesced  atomic.Int64 // requests answered in a batch of size > 1
 	batchSizes obs.Histogram
-
-	// onSweep receives the tracer of every completed sweep (the server
-	// parks it in its trace ring).
-	onSweep func(*obs.Tracer)
 }
 
 type searchCall struct {
 	q    shard.Query
+	span *obs.Span // head-sampled request's root span; nil when unsampled
 	resp chan searchResult
 }
 
@@ -51,7 +48,7 @@ type searchResult struct {
 
 var errServerClosed = errors.New("server: shutting down")
 
-func newBatcher(idx *shard.Index, maxBatch int, onSweep func(*obs.Tracer)) *batcher {
+func newBatcher(idx *shard.Index, maxBatch int) *batcher {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
@@ -63,7 +60,6 @@ func newBatcher(idx *shard.Index, maxBatch int, onSweep func(*obs.Tracer)) *batc
 		done:     make(chan struct{}),
 		batch:    idx.NewBatch(),
 		qs:       make([]shard.Query, 0, maxBatch),
-		onSweep:  onSweep,
 	}
 	go b.loop()
 	return b
@@ -71,9 +67,10 @@ func newBatcher(idx *shard.Index, maxBatch int, onSweep func(*obs.Tracer)) *batc
 
 // do submits one query and waits for its result or the context
 // deadline. The response channel is buffered so an abandoned request
-// never blocks the dispatcher.
-func (b *batcher) do(ctx context.Context, q shard.Query) ([]shard.Neighbor, error) {
-	call := &searchCall{q: q, resp: make(chan searchResult, 1)}
+// never blocks the dispatcher. span, when non-nil, receives the sweep
+// that answers the query as a child.
+func (b *batcher) do(ctx context.Context, q shard.Query, span *obs.Span) ([]shard.Neighbor, error) {
+	call := &searchCall{q: q, span: span, resp: make(chan searchResult, 1)}
 	select {
 	case b.ch <- call:
 	case <-ctx.Done():
@@ -118,16 +115,25 @@ func (b *batcher) loop() {
 
 func (b *batcher) run(batch []*searchCall) {
 	b.qs = b.qs[:0]
+	// The sweep is traced under the FIRST head-sampled caller's span;
+	// with no sampled caller in the batch, sweep is nil and the whole
+	// sweep records nothing and allocates nothing — that is the
+	// steady-state fast path the AllocsPerRun suite pins.
+	var parent *obs.Span
 	for _, c := range batch {
+		if parent == nil {
+			parent = c.span
+		}
 		b.qs = append(b.qs, c.q)
 	}
-	tr := obs.NewTracer()
-	root := tr.StartScope("serve/sweep", obs.Int("batch", int64(len(batch))))
-	results, err := b.batch.SearchBatchInto(b.qs, root)
-	root.End()
-	if b.onSweep != nil {
-		b.onSweep(tr)
+	// The nil guard (not just nil-receiver safety) matters: building the
+	// variadic attr slice would allocate on the unsampled path.
+	var sweep *obs.Span
+	if parent != nil {
+		sweep = parent.StartChild("serve/sweep", obs.Int("batch", int64(len(batch))))
 	}
+	results, err := b.batch.SearchBatchInto(b.qs, sweep)
+	sweep.End()
 	b.sweeps.Add(1)
 	b.batchSizes.Observe(int64(len(batch)))
 	if len(batch) > 1 {

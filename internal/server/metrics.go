@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rankjoin/internal/obs"
+)
+
+// handleMetrics renders the Prometheus text exposition (format 0.0.4)
+// of every serving-plane series. Names follow prometheus conventions:
+// a rankserved_ prefix, _total suffixes on counters, base units
+// (seconds) on durations. The handler assembles the page in one buffer
+// and writes it at once; it holds no lock across families, so the page
+// is a near-point-in-time snapshot, not a transactional one — exactly
+// the consistency a scraper gets from any live process.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
+	var buf bytes.Buffer
+	buf.Grow(16 << 10)
+	m := obs.NewMetricWriter(&buf)
+
+	m.Metric("rankserved_uptime_seconds", "gauge", "Seconds since the server started.")
+	m.Value("rankserved_uptime_seconds", time.Since(s.start).Seconds())
+
+	// --- per-endpoint request series ---
+	paths := s.sortedPaths()
+	m.Metric("rankserved_http_requests_total", "counter", "Requests served, by endpoint.")
+	for _, p := range paths {
+		st := s.requests[p]
+		st.mu.Lock()
+		count := st.count
+		st.mu.Unlock()
+		m.Int("rankserved_http_requests_total", count, obs.Label{Name: "path", Value: p})
+	}
+	m.Metric("rankserved_http_request_errors_total", "counter", "Requests that returned an error status, by endpoint.")
+	for _, p := range paths {
+		st := s.requests[p]
+		st.mu.Lock()
+		errs := st.errors
+		st.mu.Unlock()
+		m.Int("rankserved_http_request_errors_total", errs, obs.Label{Name: "path", Value: p})
+	}
+	m.Metric("rankserved_http_request_duration_seconds", "histogram", "Request latency, by endpoint.")
+	for _, p := range paths {
+		m.Histogram("rankserved_http_request_duration_seconds",
+			s.requests[p].latency.Snapshot(), 1e6, obs.Label{Name: "path", Value: p})
+	}
+
+	// --- query cache ---
+	hits, misses := s.cache.stats()
+	m.Metric("rankserved_cache_hits_total", "counter", "Query-cache hits.")
+	m.Int("rankserved_cache_hits_total", hits)
+	m.Metric("rankserved_cache_misses_total", "counter", "Query-cache misses.")
+	m.Int("rankserved_cache_misses_total", misses)
+	m.Metric("rankserved_cache_entries", "gauge", "Query-cache entries resident.")
+	m.Int("rankserved_cache_entries", int64(s.cache.len()))
+	m.Metric("rankserved_cache_capacity", "gauge", "Query-cache capacity.")
+	m.Int("rankserved_cache_capacity", int64(s.cache.capacity()))
+
+	// --- request coalescer ---
+	m.Metric("rankserved_sweeps_total", "counter", "Coalesced shard sweeps dispatched.")
+	m.Int("rankserved_sweeps_total", s.batch.sweeps.Load())
+	m.Metric("rankserved_coalesced_requests_total", "counter", "Requests answered in a batch of size > 1.")
+	m.Int("rankserved_coalesced_requests_total", s.batch.coalesced.Load())
+	m.Metric("rankserved_batch_size", "histogram", "Requests answered per sweep.")
+	m.Histogram("rankserved_batch_size", s.batch.batchSizes.Snapshot(), 1)
+
+	// --- filter ledger (conservation: generated = sum of fates) ---
+	f := s.idx.Filters().Snapshot()
+	m.Metric("rankserved_filter_generated_total", "counter", "Candidates enumerated by index sweeps.")
+	m.Int("rankserved_filter_generated_total", f.Generated)
+	m.Metric("rankserved_filter_candidates_total", "counter", "Candidate fates; values across fates sum to rankserved_filter_generated_total.")
+	for _, fc := range []struct {
+		fate string
+		n    int64
+	}{
+		{"pruned_prefix", f.PrunedPrefix},
+		{"pruned_signature", f.PrunedSignature},
+		{"pruned_position", f.PrunedPosition},
+		{"pruned_triangle", f.PrunedTriangle},
+		{"accepted_unverified", f.AcceptedUnverified},
+		{"verified", f.Verified},
+	} {
+		m.Int("rankserved_filter_candidates_total", fc.n, obs.Label{Name: "fate", Value: fc.fate})
+	}
+	m.Metric("rankserved_filter_emitted_total", "counter", "Result hits emitted by index sweeps.")
+	m.Int("rankserved_filter_emitted_total", f.Emitted)
+
+	// --- index + shards ---
+	m.Metric("rankserved_index_size", "gauge", "Rankings indexed.")
+	m.Int("rankserved_index_size", int64(s.idx.Len()))
+	m.Metric("rankserved_index_k", "gauge", "Established ranking length (0 until first insert).")
+	m.Int("rankserved_index_k", int64(s.idx.K()))
+	stats := s.idx.Stats()
+	m.Metric("rankserved_shard_size", "gauge", "Rankings per shard.")
+	for i, st := range stats {
+		m.Int("rankserved_shard_size", int64(st.Size), shardLabel(i))
+	}
+	m.Metric("rankserved_shard_epoch", "gauge", "Per-shard mutation epoch.")
+	for i, st := range stats {
+		m.Int("rankserved_shard_epoch", int64(st.Epoch), shardLabel(i))
+	}
+	m.Metric("rankserved_shard_pivots", "gauge", "Pivot-table width per shard.")
+	for i, st := range stats {
+		m.Int("rankserved_shard_pivots", int64(st.Pivots), shardLabel(i))
+	}
+	m.Metric("rankserved_shard_churn", "gauge", "Mutations since the shard's pivot set was chosen.")
+	for i, st := range stats {
+		m.Int("rankserved_shard_churn", int64(st.Churn), shardLabel(i))
+	}
+	m.Metric("rankserved_shard_repivots_total", "counter", "Completed background re-pivots per shard.")
+	for i, st := range stats {
+		m.Int("rankserved_shard_repivots_total", st.RePivots, shardLabel(i))
+	}
+	m.Metric("rankserved_repivot_duration_seconds", "histogram", "Background re-pivot rebuild time.")
+	m.Histogram("rankserved_repivot_duration_seconds", s.rePivotDur.Snapshot(), 1e6)
+
+	// --- trace sampling ---
+	m.Metric("rankserved_traces_sampled_total", "counter", "Requests head-sampled into full traces.")
+	m.Int("rankserved_traces_sampled_total", s.sampledTotal.Load())
+	m.Metric("rankserved_slow_requests_total", "counter", "Requests over the slow threshold (tail-sampled).")
+	m.Int("rankserved_slow_requests_total", s.slowTotal.Load())
+
+	if err := m.Err(); err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func shardLabel(i int) obs.Label {
+	return obs.Label{Name: "shard", Value: strconv.Itoa(i)}
+}

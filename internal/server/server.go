@@ -12,9 +12,15 @@
 //     implicitly (internal/server/cache.go);
 //   - per-request deadlines (503/504 instead of piling up), bounded
 //     request bodies, and graceful shutdown through Close;
-//   - observability: every sweep is traced (spans per batch and per
-//     shard, exported at /debug/trace), pivot-pruning filter counters
-//     and per-endpoint latency histograms surface in /statusz.
+//   - telemetry (internal/server/telemetry.go, metrics.go): every
+//     request carries an X-Request-ID (honored or minted, echoed on
+//     the response); every Nth request per endpoint is head-sampled
+//     into a full span trace, and every request over the slow
+//     threshold is tail-sampled retroactively; a bounded ring of
+//     recent + slowest traces serves /debug/traces and
+//     /debug/trace/{id}; Prometheus text exposition at /metrics;
+//     rolling-window QPS and latency quantiles in /statusz; structured
+//     request logs via log/slog.
 //
 // Endpoints:
 //
@@ -24,8 +30,11 @@
 //	POST /v1/delete  {"ids":[...]}
 //	POST /v1/join    {"rankings":[...], "theta":0.2}   (small ad-hoc self-join)
 //	GET  /healthz    liveness probe
-//	GET  /statusz    JSON status: shards, cache, filters, latency
-//	GET  /debug/trace  Chrome trace JSON of the most recent sweep
+//	GET  /statusz    JSON status: shards, cache, filters, latency, windows
+//	GET  /metrics    Prometheus text exposition
+//	GET  /debug/traces      list of retained request traces
+//	GET  /debug/trace/{id}  Chrome trace JSON for one request ID
+//	GET  /debug/trace       Chrome trace JSON of the most recent retained trace
 package server
 
 import (
@@ -33,8 +42,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rankjoin/internal/obs"
@@ -58,6 +69,22 @@ type Config struct {
 	MaxJoinRankings int
 	// MaxBodyBytes bounds request bodies (0 = 16 MiB).
 	MaxBodyBytes int64
+	// Logger receives structured request and lifecycle logs; nil
+	// discards them.
+	Logger *slog.Logger
+	// TraceSampleEvery head-samples every Nth request per endpoint into
+	// a full span trace (0 = 64, negative disables head sampling).
+	TraceSampleEvery int
+	// SlowThreshold tail-samples and Warn-logs every request at least
+	// this slow (0 = 250ms, negative disables tail sampling).
+	SlowThreshold time.Duration
+	// TraceRingSize bounds the retained recent and slow traces, each
+	// (0 = 32).
+	TraceRingSize int
+	// WindowInterval is the rolling-window snapshot cadence behind the
+	// /statusz QPS and last-minute quantiles (0 = 5s, negative disables
+	// the window loop — windowed stats then degrade to since-boot).
+	WindowInterval time.Duration
 }
 
 // Server is the rankserved request handler. Create with New, mount
@@ -72,13 +99,31 @@ type Server struct {
 	start    time.Time
 	mux      *http.ServeMux
 	requests map[string]*endpointStats
+	windows  map[string]*obs.Window
 
-	traceMu   sync.Mutex
-	lastTrace *obs.Tracer
+	logger      *slog.Logger
+	sampleEvery int64 // head-sample every Nth request per endpoint; 0 = off
+	slowThresh  time.Duration
+	traces      *obs.TraceRing
+
+	winInterval time.Duration
+	winStop     chan struct{}
+	winDone     chan struct{}
+
+	ridPrefix string
+	ridSeq    atomic.Uint64
+
+	sampledTotal atomic.Int64
+	slowTotal    atomic.Int64
+	rePivotTotal atomic.Int64
+	rePivotDur   obs.Histogram // microseconds
 }
 
-// endpointStats tracks request count and latency for one endpoint.
+// endpointStats tracks request admission, count and latency for one
+// endpoint. started is the head-sampling counter, bumped on admission;
+// count/errors move under mu after the handler returns.
 type endpointStats struct {
+	started atomic.Int64
 	mu      sync.Mutex
 	count   int64
 	errors  int64
@@ -117,17 +162,59 @@ func New(cfg Config) *Server {
 	if maxBody == 0 {
 		maxBody = 16 << 20
 	}
-	s := &Server{
-		idx:      idx,
-		cache:    newQueryCache(cacheSize),
-		timeout:  timeout,
-		maxJoin:  maxJoin,
-		maxBody:  maxBody,
-		start:    time.Now(),
-		mux:      http.NewServeMux(),
-		requests: make(map[string]*endpointStats),
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
-	s.batch = newBatcher(idx, cfg.MaxBatch, s.storeTrace)
+	sampleEvery := int64(cfg.TraceSampleEvery)
+	switch {
+	case sampleEvery == 0:
+		sampleEvery = defaultTraceSampleEvery
+	case sampleEvery < 0:
+		sampleEvery = 0
+	}
+	slowThresh := cfg.SlowThreshold
+	switch {
+	case slowThresh == 0:
+		slowThresh = defaultSlowThreshold
+	case slowThresh < 0:
+		slowThresh = 0
+	}
+	ringSize := cfg.TraceRingSize
+	if ringSize <= 0 {
+		ringSize = defaultTraceRingSize
+	}
+	winInterval := cfg.WindowInterval
+	if winInterval == 0 {
+		winInterval = defaultWindowInterval
+	}
+	now := time.Now()
+	s := &Server{
+		idx:         idx,
+		cache:       newQueryCache(cacheSize),
+		timeout:     timeout,
+		maxJoin:     maxJoin,
+		maxBody:     maxBody,
+		start:       now,
+		mux:         http.NewServeMux(),
+		requests:    make(map[string]*endpointStats),
+		windows:     make(map[string]*obs.Window),
+		logger:      logger,
+		sampleEvery: sampleEvery,
+		slowThresh:  slowThresh,
+		traces:      obs.NewTraceRing(ringSize),
+		winInterval: winInterval,
+		ridPrefix:   fmt.Sprintf("%08x-", uint32(now.UnixNano())),
+	}
+	s.batch = newBatcher(idx, cfg.MaxBatch)
+	idx.SetRePivotHook(func(e shard.RePivotEvent) {
+		s.rePivotTotal.Add(1)
+		s.rePivotDur.Observe(e.Dur.Microseconds())
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "re-pivot",
+			slog.Int("shard", e.Shard), slog.Int("size", e.Size),
+			slog.Int("pivots", e.Pivots), slog.Int("churn", e.Churn),
+			slog.Duration("dur", e.Dur))
+	})
 	s.route("/v1/search", http.MethodPost, s.handleSearch)
 	s.route("/v1/knn", http.MethodPost, s.handleKNN)
 	s.route("/v1/insert", http.MethodPost, s.handleInsert)
@@ -135,7 +222,15 @@ func New(cfg Config) *Server {
 	s.route("/v1/join", http.MethodPost, s.handleJoin)
 	s.route("/healthz", http.MethodGet, s.handleHealthz)
 	s.route("/statusz", http.MethodGet, s.handleStatusz)
+	s.route("/metrics", http.MethodGet, s.handleMetrics)
+	s.route("/debug/traces", http.MethodGet, s.handleTraces)
 	s.route("/debug/trace", http.MethodGet, s.handleTrace)
+	s.route("/debug/trace/{id}", http.MethodGet, s.handleTraceByID)
+	if winInterval > 0 {
+		s.winStop = make(chan struct{})
+		s.winDone = make(chan struct{})
+		go s.windowLoop()
+	}
 	return s
 }
 
@@ -145,20 +240,27 @@ func (s *Server) Index() *shard.Index { return s.idx }
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the request batcher; in-flight requests receive errors.
-func (s *Server) Close() { s.batch.close() }
-
-func (s *Server) storeTrace(tr *obs.Tracer) {
-	s.traceMu.Lock()
-	s.lastTrace = tr
-	s.traceMu.Unlock()
+// Close stops the request batcher and the telemetry window loop;
+// in-flight requests receive errors.
+func (s *Server) Close() {
+	s.idx.SetRePivotHook(nil)
+	if s.winStop != nil {
+		close(s.winStop)
+		<-s.winDone
+		s.winStop = nil
+	}
+	s.batch.close()
 }
 
 // route registers an instrumented handler: method check, body bound,
-// deadline, request count + latency.
+// deadline, request ID, head/tail trace sampling, request count +
+// latency, structured logs. The telemetry on the unsampled path is
+// allocation-free — two atomics and a histogram observe.
 func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Request) error) {
 	st := &endpointStats{}
 	s.requests[path] = st
+	s.windows[path] = obs.NewWindow(windowSpan, time.Now())
+	spanName := "http " + path
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			w.Header().Set("Allow", method)
@@ -168,11 +270,29 @@ func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Re
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		}
+		rid := s.requestID(r)
+		w.Header().Set("X-Request-Id", rid)
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
+		n := st.started.Add(1)
+		sampled := s.sampleEvery > 0 && (n-1)%s.sampleEvery == 0
+		var tr *obs.Tracer
+		var root *obs.Span
+		if sampled {
+			tr = obs.NewTracer()
+			root = tr.StartScope(spanName, obs.String("request_id", rid))
+			ctx = context.WithValue(ctx, spanKey{}, root)
+		}
 		start := time.Now()
 		err := h(w, r.WithContext(ctx))
-		st.observe(time.Since(start), err != nil)
+		dur := time.Since(start)
+		root.End()
+		st.observe(dur, err != nil)
+		slow := s.slowThresh > 0 && dur >= s.slowThresh
+		if sampled || slow {
+			s.retainTrace(spanName, rid, start, dur, tr, sampled, slow)
+		}
+		s.logRequest(r.Context(), path, rid, statusOf(err), dur, slow)
 	})
 }
 
@@ -184,6 +304,8 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.err.Error() }
 
+var errNoSuchTrace = errors.New("no such trace retained")
+
 func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -192,24 +314,42 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
 }
 
+// statusOf maps a handler error to the HTTP status it produces — the
+// single source of truth shared by the wire mapping (finish) and the
+// request logs.
+func statusOf(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, shard.ErrKMismatch), errors.Is(err, shard.ErrNilRanking):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 // finish maps a handler error onto the wire.
 func finish(w http.ResponseWriter, err error) error {
 	if err == nil {
 		return nil
 	}
+	msg := err
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
-		writeError(w, he.status, he.err)
+		msg = he.err
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, errors.New("request deadline exceeded"))
-	case errors.Is(err, errServerClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, shard.ErrKMismatch), errors.Is(err, shard.ErrNilRanking):
-		writeError(w, http.StatusBadRequest, err)
-	default:
-		writeError(w, http.StatusInternalServerError, err)
+		msg = errors.New("request deadline exceeded")
 	}
+	writeError(w, statusOf(err), msg)
 	return err
 }
 
@@ -344,12 +484,16 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 }
 
 // answer serves a query through the cache and, on a miss, the batcher.
+// A head-sampled request's root span rides the context into the
+// batcher, where the sweep that answers it records its shard tasks as
+// children.
 func (s *Server) answer(ctx context.Context, w http.ResponseWriter, q shard.Query, key string) error {
 	epochs := s.idx.Epochs()
 	if hits, ok := s.cache.get(key, epochs); ok {
+		ctxSpan(ctx).SetAttr("cache", "hit")
 		return writeJSON(w, searchResponse{Hits: nonNil(hits), Cached: true})
 	}
-	hits, err := s.batch.do(ctx, q)
+	hits, err := s.batch.do(ctx, q, ctxSpan(ctx))
 	if err != nil {
 		return finish(w, err)
 	}
@@ -376,25 +520,21 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
 	if len(req.Rankings) == 0 {
 		return finish(w, badRequest(errors.New("missing rankings")))
 	}
-	tr := obs.NewTracer()
-	span := tr.StartScope("serve/insert", obs.Int("rankings", int64(len(req.Rankings))))
+	sp := ctxSpan(r.Context()).StartChild("serve/insert",
+		obs.Int("rankings", int64(len(req.Rankings))))
+	defer sp.End()
 	n := 0
 	for _, rj := range req.Rankings {
 		rk, err := rankings.New(rj.ID, rj.Items)
 		if err != nil {
-			span.End()
-			s.storeTrace(tr)
 			return finish(w, badRequest(err))
 		}
 		if err := s.idx.Insert(rk); err != nil {
-			span.End()
-			s.storeTrace(tr)
 			return finish(w, err)
 		}
 		n++
 	}
-	span.End()
-	s.storeTrace(tr)
+	sp.SetInt("inserted", int64(n))
 	return writeJSON(w, map[string]any{"inserted": n, "size": s.idx.Len()})
 }
 
@@ -410,12 +550,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	if len(req.IDs) == 0 {
 		return finish(w, badRequest(errors.New("missing ids")))
 	}
+	sp := ctxSpan(r.Context()).StartChild("serve/delete",
+		obs.Int("ids", int64(len(req.IDs))))
+	defer sp.End()
 	n := 0
 	for _, id := range req.IDs {
 		if s.idx.Delete(id) {
 			n++
 		}
 	}
+	sp.SetInt("deleted", int64(n))
 	return writeJSON(w, map[string]any{"deleted": n, "size": s.idx.Len()})
 }
 
@@ -463,14 +607,13 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 		rk.Index()
 		rs = append(rs, rk)
 	}
-	tr := obs.NewTracer()
-	span := tr.StartScope("serve/join", obs.Int("rankings", int64(len(rs))))
+	sp := ctxSpan(r.Context()).StartChild("serve/join",
+		obs.Int("rankings", int64(len(rs))))
+	defer sp.End()
 	var st ppjoin.Stats
 	pairs := ppjoin.BruteForce(rs, rankings.Threshold(*req.Theta, k), &st)
 	pairs = rankings.DedupPairs(pairs)
-	span.SetInt("pairs", int64(len(pairs)))
-	span.End()
-	s.storeTrace(tr)
+	sp.SetInt("pairs", int64(len(pairs)))
 	out := make([]pairJSON, len(pairs))
 	for i, p := range pairs {
 		out[i] = pairJSON{A: p.A, B: p.B, Dist: p.Dist}
@@ -496,27 +639,32 @@ type Status struct {
 	Cache         CacheStatus               `json:"cache"`
 	Batch         BatchStatus               `json:"batch"`
 	Requests      map[string]EndpointStatus `json:"requests"`
+	Windows       map[string]WindowStatus   `json:"windows"`
+	RePivots      RePivotStatus             `json:"re_pivots"`
+	Traces        TracesStatus              `json:"traces"`
 	LastTrace     TraceStatus               `json:"last_trace"`
 }
 
 // CacheStatus summarizes the query cache.
 type CacheStatus struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
-	Entries  int   `json:"entries"`
-	Capacity int   `json:"capacity"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
 }
 
 // BatchStatus summarizes request coalescing.
 type BatchStatus struct {
-	Sweeps    int64 `json:"sweeps"`
-	Coalesced int64 `json:"coalesced_requests"`
-	MaxBatch  int   `json:"max_batch"`
-	P50Size   int64 `json:"p50_size"`
-	MaxSize   int64 `json:"max_size"`
+	Sweeps    int64   `json:"sweeps"`
+	Coalesced int64   `json:"coalesced_requests"`
+	MaxBatch  int     `json:"max_batch"`
+	MeanSize  float64 `json:"mean_size"`
+	P50Size   int64   `json:"p50_size"`
+	MaxSize   int64   `json:"max_size"`
 }
 
-// EndpointStatus summarizes one endpoint's traffic.
+// EndpointStatus summarizes one endpoint's cumulative traffic.
 type EndpointStatus struct {
 	Count  int64 `json:"count"`
 	Errors int64 `json:"errors"`
@@ -525,9 +673,36 @@ type EndpointStatus struct {
 	Maxus  int64 `json:"max_us"`
 }
 
-// TraceStatus reports on the most recent request/sweep trace.
+// WindowStatus summarizes one endpoint's rolling-window traffic: the
+// current request rate and recent latency quantiles over (roughly) the
+// last windowSpan.
+type WindowStatus struct {
+	WindowSeconds float64 `json:"window_s"`
+	Count         int64   `json:"count"`
+	QPS           float64 `json:"qps"`
+	P50us         int64   `json:"p50_us"`
+	P99us         int64   `json:"p99_us"`
+}
+
+// RePivotStatus summarizes background re-pivot activity.
+type RePivotStatus struct {
+	Events int64 `json:"events"`
+	P50us  int64 `json:"p50_us"`
+	Maxus  int64 `json:"max_us"`
+}
+
+// TracesStatus summarizes trace sampling and retention.
+type TracesStatus struct {
+	SampledTotal int64 `json:"sampled_total"`
+	SlowTotal    int64 `json:"slow_total"`
+	Recent       int   `json:"recent"`
+	Slow         int   `json:"slow"`
+}
+
+// TraceStatus reports on the most recent retained trace.
 type TraceStatus struct {
 	Present bool   `json:"present"`
+	ID      string `json:"id,omitempty"`
 	Valid   bool   `json:"valid"`
 	Error   string `json:"error,omitempty"`
 }
@@ -545,7 +720,12 @@ func (s *Server) Status() Status {
 		sizes.Observe(int64(c))
 	}
 	hits, misses := s.cache.stats()
+	hitRatio := 0.0
+	if total := hits + misses; total > 0 {
+		hitRatio = float64(hits) / float64(total)
+	}
 	batchSnap := s.batch.batchSizes.Snapshot()
+	rpSnap := s.rePivotDur.Snapshot()
 	st := Status{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		K:             s.idx.K(),
@@ -554,18 +734,32 @@ func (s *Server) Status() Status {
 		ShardSizes:    sizes.Snapshot().String(),
 		Filters:       s.idx.Filters().Snapshot(),
 		Cache: CacheStatus{
-			Hits: hits, Misses: misses,
+			Hits: hits, Misses: misses, HitRatio: hitRatio,
 			Entries: s.cache.len(), Capacity: s.cache.capacity(),
 		},
 		Batch: BatchStatus{
 			Sweeps:    s.batch.sweeps.Load(),
 			Coalesced: s.batch.coalesced.Load(),
 			MaxBatch:  s.batch.maxBatch,
+			MeanSize:  batchSnap.Mean(),
 			P50Size:   batchSnap.Quantile(0.50),
 			MaxSize:   batchSnap.Max,
 		},
+		RePivots: RePivotStatus{
+			Events: s.rePivotTotal.Load(),
+			P50us:  rpSnap.Quantile(0.50),
+			Maxus:  rpSnap.Max,
+		},
+		Traces: TracesStatus{
+			SampledTotal: s.sampledTotal.Load(),
+			SlowTotal:    s.slowTotal.Load(),
+			Recent:       len(s.traces.Recent()),
+			Slow:         len(s.traces.Slow()),
+		},
 		Requests: make(map[string]EndpointStatus, len(s.requests)),
+		Windows:  make(map[string]WindowStatus, len(s.requests)),
 	}
+	now := time.Now()
 	for path, es := range s.requests {
 		es.mu.Lock()
 		count, errs := es.count, es.errors
@@ -575,13 +769,24 @@ func (s *Server) Status() Status {
 			Count: count, Errors: errs,
 			P50us: lat.Quantile(0.50), P99us: lat.Quantile(0.99), Maxus: lat.Max,
 		}
+		elapsed, delta := s.windows[path].Delta(now, lat)
+		qps := 0.0
+		if secs := elapsed.Seconds(); secs > 0 {
+			qps = float64(delta.Count) / secs
+		}
+		st.Windows[path] = WindowStatus{
+			WindowSeconds: elapsed.Seconds(),
+			Count:         delta.Count,
+			QPS:           qps,
+			P50us:         delta.Quantile(0.50),
+			P99us:         delta.Quantile(0.99),
+		}
 	}
-	s.traceMu.Lock()
-	tr := s.lastTrace
-	s.traceMu.Unlock()
-	if tr != nil {
+	if recent := s.traces.Recent(); len(recent) > 0 {
+		rec := recent[0]
 		st.LastTrace.Present = true
-		if err := tr.Validate(); err != nil {
+		st.LastTrace.ID = rec.ID
+		if err := rec.Tracer.Validate(); err != nil {
 			st.LastTrace.Error = err.Error()
 		} else {
 			st.LastTrace.Valid = true
@@ -592,16 +797,4 @@ func (s *Server) Status() Status {
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) error {
 	return writeJSON(w, s.Status())
-}
-
-func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) error {
-	s.traceMu.Lock()
-	tr := s.lastTrace
-	s.traceMu.Unlock()
-	if tr == nil {
-		return finish(w, &httpError{status: http.StatusNotFound,
-			err: errors.New("no request traced yet")})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	return tr.WriteChromeTrace(w)
 }

@@ -296,16 +296,16 @@ func TestValidationErrors(t *testing.T) {
 		body any
 		want int
 	}{
-		{"/v1/search", map[string]any{"items": []int{1, 2, 3}}, http.StatusBadRequest},                  // missing theta
-		{"/v1/search", map[string]any{"items": []int{1, 2, 3}, "theta": 7.0}, http.StatusBadRequest},    // theta range
-		{"/v1/search", map[string]any{"theta": 0.2}, http.StatusBadRequest},                             // no query
-		{"/v1/search", map[string]any{"items": []int{1, 1, 2}, "theta": 0.2}, http.StatusBadRequest},    // duplicate item
-		{"/v1/search", map[string]any{"items": []int{1, 2}, "theta": 0.2}, http.StatusBadRequest},       // k mismatch
-		{"/v1/search", map[string]any{"id": 99, "theta": 0.2}, http.StatusNotFound},                     // unknown id
-		{"/v1/knn", map[string]any{"items": []int{1, 2, 3}}, http.StatusBadRequest},                     // missing k
-		{"/v1/insert", map[string]any{}, http.StatusBadRequest},                                         // no rankings
-		{"/v1/insert", map[string]any{"rankings": []map[string]any{{"id": 9}}}, http.StatusBadRequest},  // empty ranking
-		{"/v1/delete", map[string]any{}, http.StatusBadRequest},                                         // no ids
+		{"/v1/search", map[string]any{"items": []int{1, 2, 3}}, http.StatusBadRequest},                                  // missing theta
+		{"/v1/search", map[string]any{"items": []int{1, 2, 3}, "theta": 7.0}, http.StatusBadRequest},                    // theta range
+		{"/v1/search", map[string]any{"theta": 0.2}, http.StatusBadRequest},                                             // no query
+		{"/v1/search", map[string]any{"items": []int{1, 1, 2}, "theta": 0.2}, http.StatusBadRequest},                    // duplicate item
+		{"/v1/search", map[string]any{"items": []int{1, 2}, "theta": 0.2}, http.StatusBadRequest},                       // k mismatch
+		{"/v1/search", map[string]any{"id": 99, "theta": 0.2}, http.StatusNotFound},                                     // unknown id
+		{"/v1/knn", map[string]any{"items": []int{1, 2, 3}}, http.StatusBadRequest},                                     // missing k
+		{"/v1/insert", map[string]any{}, http.StatusBadRequest},                                                         // no rankings
+		{"/v1/insert", map[string]any{"rankings": []map[string]any{{"id": 9}}}, http.StatusBadRequest},                  // empty ranking
+		{"/v1/delete", map[string]any{}, http.StatusBadRequest},                                                         // no ids
 		{"/v1/join", map[string]any{"rankings": []map[string]any{{"id": 1, "items": []int{1}}}}, http.StatusBadRequest}, // no theta
 	}
 	for _, c := range cases {

@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rankjoin/internal/testutil"
+)
+
+// TestRePivotHook installs the index-level re-pivot observer and drives
+// enough inserts to trigger background rebuilds, checking the delivered
+// events describe them.
+func TestRePivotHook(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := New(Config{Shards: 1, PivotsPerShard: 5, Seed: 9})
+
+	var mu sync.Mutex
+	var events []RePivotEvent
+	x.SetRePivotHook(func(e RePivotEvent) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+
+	for _, r := range testutil.RandDataset(rng, 300, 8, 150) {
+		if err := x.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(events) >= 1
+	})
+	mu.Lock()
+	e := events[0]
+	mu.Unlock()
+	if e.Shard != 0 {
+		t.Fatalf("event shard = %d, want 0", e.Shard)
+	}
+	if e.Size < minRePivotSize || e.Pivots != 5 {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.Churn <= 0 {
+		t.Fatalf("event churn = %d, want > 0", e.Churn)
+	}
+	if e.Dur < 0 {
+		t.Fatalf("event dur = %v", e.Dur)
+	}
+
+	// Uninstalling stops delivery; later re-pivots must not call a stale
+	// hook (and must not panic on the nil pointer).
+	x.SetRePivotHook(nil)
+	mu.Lock()
+	seen := len(events)
+	mu.Unlock()
+	for id := int64(10_000); id < 10_300; id++ {
+		if err := x.Insert(testutil.RandRanking(rng, id, 8, 150)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return !x.shards[0].repivoting.Load() && x.Stats()[0].RePivots >= 2 })
+	mu.Lock()
+	after := len(events)
+	mu.Unlock()
+	if after != seen {
+		t.Fatalf("hook fired after uninstall: %d → %d events", seen, after)
+	}
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
@@ -30,6 +31,9 @@ type Index struct {
 	filters   obs.FilterCounters
 	pool      sync.Pool // of *Batch, for the copying Search/KNN/SearchBatch wrappers
 
+	// rePivotHook is shared with every shard; SetRePivotHook swaps it.
+	rePivotHook atomic.Pointer[RePivotHook]
+
 	mu sync.RWMutex
 	k  int // established ranking length; 0 until the first insert
 }
@@ -48,6 +52,8 @@ func New(cfg Config) *Index {
 	}
 	for i := range x.shards {
 		x.shards[i] = newShard(cfg.PivotsPerShard, cfg.Seed+int64(i)*7_919)
+		x.shards[i].id = i
+		x.shards[i].hook = &x.rePivotHook
 		x.spanNames[i] = fmt.Sprintf("shard/%d", i)
 	}
 	x.pool.New = func() any { return x.NewBatch() }
@@ -177,6 +183,18 @@ func (x *Index) Snapshot() ([]*rankings.Ranking, []uint64) {
 // PrunedSignature + PrunedTriangle + Verified across all sweeps;
 // Emitted counts hits).
 func (x *Index) Filters() *obs.FilterCounters { return &x.filters }
+
+// SetRePivotHook installs fn as the observer of completed background
+// re-pivots across all shards (nil uninstalls). The hook runs on the
+// re-pivot goroutine with no locks held; see RePivotHook for the
+// contract. Safe to call concurrently with serving traffic.
+func (x *Index) SetRePivotHook(fn RePivotHook) {
+	if fn == nil {
+		x.rePivotHook.Store(nil)
+		return
+	}
+	x.rePivotHook.Store(&fn)
+}
 
 // Stats returns per-shard statistics in shard order.
 func (x *Index) Stats() []Stats {

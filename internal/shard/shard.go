@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rankjoin/internal/filters"
 	"rankjoin/internal/rankings"
@@ -72,11 +73,29 @@ type entry struct {
 // sweep.
 const maxSignatureK = 64
 
+// RePivotEvent describes one completed background re-pivot pass, as
+// delivered to the hook installed with Index.SetRePivotHook.
+type RePivotEvent struct {
+	Shard  int           // shard ordinal within its Index
+	Size   int           // entries at snapshot time
+	Pivots int           // pivot-table width chosen
+	Churn  int           // mutations absorbed since the previous pivot set
+	Dur    time.Duration // wall time of the rebuild
+}
+
+// RePivotHook observes completed re-pivots. It runs on the re-pivot
+// goroutine after all locks are released, so it may itself query the
+// index, but it should return quickly — the shard cannot start its
+// next rebuild until the hook returns.
+type RePivotHook func(RePivotEvent)
+
 // Shard is one RWMutex-guarded partition of the index. All exported
 // methods are safe for concurrent use.
 type Shard struct {
 	numPivots int
 	seed      int64
+	id        int                          // ordinal within the owning Index
+	hook      *atomic.Pointer[RePivotHook] // owning Index's re-pivot hook; nil standalone
 
 	mu      sync.RWMutex
 	pivots  []*rankings.Ranking
@@ -299,6 +318,7 @@ func (s *Shard) triggerRePivot() {
 // inserted or replaced while the rebuild ran.
 func (s *Shard) rePivot() {
 	defer s.repivoting.Store(false)
+	began := time.Now()
 	s.mu.RLock()
 	n := len(s.entries)
 	if n == 0 {
@@ -331,6 +351,7 @@ func (s *Shard) rePivot() {
 			e.pd = pivotRow(e.r, pivots)
 		}
 	}
+	churn := s.churn
 	s.churn = 0
 	s.scanned.Store(0)
 	s.pruned.Store(0)
@@ -339,6 +360,18 @@ func (s *Shard) rePivot() {
 	// invariant simple: equal epochs always mean byte-identical state.
 	s.epoch.Add(1)
 	s.mu.Unlock()
+
+	if s.hook != nil {
+		if fn := s.hook.Load(); fn != nil {
+			(*fn)(RePivotEvent{
+				Shard:  s.id,
+				Size:   n,
+				Pivots: len(pivots),
+				Churn:  churn,
+				Dur:    time.Since(began),
+			})
+		}
+	}
 }
 
 // sweepPhase1 is the first half of the fused multi-query sweep: under
