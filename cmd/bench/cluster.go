@@ -1,0 +1,110 @@
+package main
+
+// Cluster bench (-cluster, report Bench: 5): boots a real 3-peer
+// fleet on loopback via clustertest — the same servers, ring, hedging
+// and wire shuffle the e2e tests exercise — and measures both planes:
+// scatter-gather serving QPS/latency through one peer, and a
+// distributed join timed against the identical single-node join so
+// the report carries the wire overhead explicitly.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rankjoin"
+	"rankjoin/internal/cluster/clustertest"
+	"rankjoin/internal/testutil"
+)
+
+const (
+	clusterPeers = 3
+	clusterN     = 3000
+	clusterJoinN = 1500
+)
+
+func clusterBenches(theta float64) ([]result, error) {
+	f, err := clustertest.Boot(clusterPeers, clustertest.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	data := testutil.ClusteredDataset(rng, clusterN/5, 5, serveK, 30*serveK)
+	if err := f.Load(data); err != nil {
+		return nil, err
+	}
+
+	var out []result
+	for _, ep := range []struct {
+		name string
+		path string
+		body func(id int64) any
+	}{
+		{"search", "/v1/search", func(id int64) any {
+			return map[string]any{"id": id, "theta": serveTheta}
+		}},
+		{"knn", "/v1/knn", func(id int64) any {
+			return map[string]any{"id": id, "k": serveKNN}
+		}},
+	} {
+		r, err := hammer(f.URL(0)+ep.path, data, ep.body)
+		if err != nil {
+			return nil, fmt.Errorf("cluster %s: %w", ep.name, err)
+		}
+		r.Name = fmt.Sprintf("cluster/%s/peers=%d/n=%d", ep.name, clusterPeers, clusterN)
+		r.Metrics["rankings"] = float64(clusterN)
+		r.Metrics["peers"] = clusterPeers
+		out = append(out, *r)
+	}
+
+	jr, err := clusterJoinBench(f, theta)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, *jr)
+	return out, nil
+}
+
+// clusterJoinBench runs one CL-P join twice — over the wire through
+// the fleet and in-process on a single node — and reports both times
+// plus the shuffle traffic the distributed run generated.
+func clusterJoinBench(f *clustertest.Fleet, theta float64) (*result, error) {
+	rng := rand.New(rand.NewSource(6))
+	rs := testutil.ClusteredDataset(rng, clusterJoinN/5, 5, serveK, 30*serveK)
+	opts := rankjoin.Options{Algorithm: rankjoin.AlgCLP, Theta: theta}
+
+	before := f.Peers[0].Cluster.StatusSnapshot()
+	t0 := time.Now()
+	got, err := f.Peers[0].Cluster.DistributedJoin(context.Background(), rs, opts)
+	wire := time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster join: %w", err)
+	}
+	after := f.Peers[0].Cluster.StatusSnapshot()
+
+	t0 = time.Now()
+	want, err := rankjoin.NewEngine(rankjoin.EngineConfig{}).Join(rs, opts)
+	local := time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("single-node join: %w", err)
+	}
+	if len(got.Pairs) != len(want.Pairs) {
+		return nil, fmt.Errorf("cluster join returned %d pairs, single-node %d", len(got.Pairs), len(want.Pairs))
+	}
+
+	return &result{
+		Name:    fmt.Sprintf("cluster/join/clp/peers=%d/n=%d", clusterPeers, clusterJoinN),
+		NsPerOp: float64(wire.Nanoseconds()),
+		Metrics: map[string]float64{
+			"pairs":          float64(len(got.Pairs)),
+			"single_node_ns": float64(local.Nanoseconds()),
+			"wire_overhead":  wire.Seconds()/local.Seconds() - 1,
+			"frames_sent":    float64(after.FramesSent - before.FramesSent),
+			"bytes_sent":     float64(after.BytesSent - before.BytesSent),
+			"peers":          clusterPeers,
+		},
+	}, nil
+}

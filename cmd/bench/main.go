@@ -64,6 +64,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -81,11 +82,31 @@ type result struct {
 }
 
 type report struct {
-	Bench   int      `json:"bench"`
-	Go      string   `json:"go"`
-	GOOS    string   `json:"goos"`
-	GOARCH  string   `json:"goarch"`
-	Results []result `json:"results"`
+	Bench      int      `json:"bench"`
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	CPU        string   `json:"cpu,omitempty"`
+	Results    []result `json:"results"`
+}
+
+// cpuModel best-effort identifies the host CPU so reports from
+// different machines are never compared as if they were one. Linux
+// exposes it in /proc/cpuinfo; elsewhere (or in stripped containers)
+// the field is simply omitted.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		name, value, ok := strings.Cut(line, ":")
+		if ok && strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(value)
+		}
+	}
+	return ""
 }
 
 func main() {
@@ -100,6 +121,7 @@ func main() {
 	serve := flag.Bool("serve", false, "benchmark the rankserved HTTP stack (QPS, p50/p99 latency)")
 	serveGuard := flag.Bool("serve-guard", false, "fail if serving-plane telemetry adds >2% to request handling")
 	shardFlag := flag.Bool("shard", false, "benchmark the shard.Batch serving path (ns/op, allocs/op)")
+	clusterFlag := flag.Bool("cluster", false, "benchmark a 3-peer cluster: scatter-gather QPS and a distributed join (report bench 5)")
 	baseline := flag.String("baseline", "", "fail when shared benchmarks regress beyond -max-regress vs this report")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression for -baseline comparisons")
 	flag.Parse()
@@ -113,7 +135,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: debug listener on http://%s/debug/vars\n", dbg.Addr())
 	}
 
-	rep := report{Bench: 4, Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	rep := report{
+		Bench:      4,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPU:        cpuModel(),
+	}
+	if *clusterFlag {
+		rep.Bench = 5
+	}
 	add := func(r result) {
 		rep.Results = append(rep.Results, r)
 		fmt.Fprintf(os.Stderr, "%-40s %12.1f ns/op  %v\n", r.Name, r.NsPerOp, r.Metrics)
@@ -163,6 +195,15 @@ func main() {
 			fatal(err)
 		}
 		for _, r := range srs {
+			add(r)
+		}
+	}
+	if *clusterFlag {
+		crs, err := clusterBenches(*theta)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range crs {
 			add(r)
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"rankjoin"
 	"rankjoin/internal/rankings"
@@ -158,14 +159,30 @@ func remoteSearch(addr string, theta float64, query, queries string, id int64) e
 	}
 
 	url := "http://" + addr + "/v1/search"
+	// Each query carries a client-minted X-Request-Id; rankserved
+	// honors it, so a failure reported here can be looked up directly
+	// at /debug/trace/{id} on the daemon.
+	ridBase := fmt.Sprintf("ranksearch-%08x", uint32(time.Now().UnixNano()))
 	for i, req := range reqs {
 		enc, err := json.Marshal(req)
 		if err != nil {
 			return err
 		}
-		resp, err := http.Post(url, "application/json", bytes.NewReader(enc))
+		rid := fmt.Sprintf("%s-%d", ridBase, i)
+		hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(enc))
 		if err != nil {
 			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("X-Request-Id", rid)
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			return fmt.Errorf("%s (request %s): %w", url, rid, err)
+		}
+		// The server echoes the id it actually used (ours, unless it
+		// re-minted); prefer its echo when correlating errors.
+		if echoed := resp.Header.Get("X-Request-Id"); echoed != "" {
+			rid = echoed
 		}
 		var ans struct {
 			Hits []struct {
@@ -177,10 +194,11 @@ func remoteSearch(addr string, theta float64, query, queries string, id int64) e
 		err = json.NewDecoder(resp.Body).Decode(&ans)
 		resp.Body.Close()
 		if err != nil {
-			return fmt.Errorf("%s: %w", url, err)
+			return fmt.Errorf("%s (request %s): %w", url, rid, err)
 		}
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, ans.Error)
+			return fmt.Errorf("%s: status %d: %s (request %s; see /debug/trace/%s on the daemon)",
+				url, resp.StatusCode, ans.Error, rid, rid)
 		}
 		fmt.Printf("query %s: %d hits\n", labels[i], len(ans.Hits))
 		for _, h := range ans.Hits {

@@ -9,6 +9,18 @@
 // Usage:
 //
 //	rankserved -addr localhost:7357 -data rankings.txt
+//
+// Cluster mode — boot N processes with the identical ordered -peers
+// list and distinct -self ranks to form one logical service; any peer
+// answers the full public API by scatter-gathering across all of them:
+//
+//	rankserved -addr localhost:7001 -peers localhost:7001,localhost:7002,localhost:7003 -self 0
+//	rankserved -addr localhost:7002 -peers localhost:7001,localhost:7002,localhost:7003 -self 1
+//	rankserved -addr localhost:7003 -peers localhost:7001,localhost:7002,localhost:7003 -self 2
+//
+// With -data in cluster mode each peer loads only the rankings it owns
+// on the placement ring, so the dataset is sharded, not replicated.
+//
 //	curl -s localhost:7357/v1/search -d '{"items":[1,2,3,4,5],"theta":0.2}'
 //	curl -s localhost:7357/v1/knn -d '{"id":42,"k":10}'
 //	curl -s localhost:7357/v1/insert -d '{"rankings":[{"id":7,"items":[9,8,7,6,5]}]}'
@@ -36,9 +48,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rankjoin/internal/cluster"
 	"rankjoin/internal/obs"
 	"rankjoin/internal/rankings"
 	"rankjoin/internal/server"
@@ -62,6 +76,9 @@ func main() {
 		traceSample = flag.Int("trace-sample", 64, "head-sample every Nth request per endpoint (negative disables)")
 		slowThresh  = flag.Duration("slow", 250*time.Millisecond, "tail-sample and warn-log requests at least this slow (negative disables)")
 		traceRing   = flag.Int("trace-ring", 32, "retained recent and slow traces, each")
+		peers       = flag.String("peers", "", "comma-separated ordered peer list (host:port); forms a cluster")
+		self        = flag.Int("self", 0, "this peer's index into -peers")
+		joinTimeout = flag.Duration("join-timeout", 2*time.Minute, "distributed join deadline (cluster mode)")
 	)
 	flag.Parse()
 
@@ -75,6 +92,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	var clu *cluster.Cluster
+	if *peers != "" {
+		list := strings.Split(*peers, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		var err error
+		clu, err = cluster.New(cluster.Config{
+			Self:        *self,
+			Peers:       list,
+			JoinTimeout: *joinTimeout,
+			Logger:      logger,
+		})
+		if err != nil {
+			fatal("cluster", err)
+		}
+		logger.Info("cluster peer", slog.Int("self", *self), slog.Int("peers", len(list)))
+	}
+
 	idx := shard.New(shard.Config{Shards: *shards, PivotsPerShard: *pivots, Seed: *seed})
 	if *data != "" {
 		f, err := os.Open(*data)
@@ -86,13 +122,21 @@ func main() {
 		if err != nil {
 			fatal("read dataset", err)
 		}
+		skipped := 0
 		for _, r := range rs {
+			// In cluster mode each peer indexes only its ring share of
+			// the dataset; the scatter path reassembles the full answer.
+			if clu != nil && clu.Owner(r.ID) != clu.Self() {
+				skipped++
+				continue
+			}
 			if err := idx.Insert(r); err != nil {
 				fatal("preload "+*data, err)
 			}
 		}
 		logger.Info("preloaded dataset", slog.String("file", *data),
-			slog.Int("rankings", idx.Len()), slog.Int("k", idx.K()), slog.Int("shards", *shards))
+			slog.Int("rankings", idx.Len()), slog.Int("k", idx.K()), slog.Int("shards", *shards),
+			slog.Int("skipped_not_owned", skipped))
 	}
 
 	srv := server.New(server.Config{
@@ -104,6 +148,7 @@ func main() {
 		TraceSampleEvery: *traceSample,
 		SlowThreshold:    *slowThresh,
 		TraceRingSize:    *traceRing,
+		Cluster:          clu,
 	})
 	defer srv.Close()
 

@@ -1,0 +1,108 @@
+package rankjoin_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rankjoin"
+	"rankjoin/internal/flow"
+	"rankjoin/internal/testutil"
+)
+
+// memWorld is a minimal in-process flow.Exchanger: one buffered channel
+// per (collective, src, dst). It proves the eight public join paths
+// run unchanged in SPMD mode; the HTTP transport is internal/cluster's
+// job and is certified separately against 50 rankcheck seeds.
+type memWorld struct {
+	n     int
+	mu    sync.Mutex
+	boxes map[string]chan []byte
+}
+
+func newMemWorld(n int) *memWorld { return &memWorld{n: n, boxes: make(map[string]chan []byte)} }
+
+func (mw *memWorld) box(id int64, src, dst int) chan []byte {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	key := fmt.Sprintf("%d/%d/%d", id, src, dst)
+	ch, ok := mw.boxes[key]
+	if !ok {
+		ch = make(chan []byte, 1)
+		mw.boxes[key] = ch
+	}
+	return ch
+}
+
+type memExchanger struct {
+	world *memWorld
+	self  int
+}
+
+func (e *memExchanger) World() (int, int) { return e.self, e.world.n }
+
+func (e *memExchanger) Alltoall(id int64, outbound [][]byte) ([][]byte, error) {
+	for w := range outbound {
+		if w != e.self {
+			e.world.box(id, e.self, w) <- outbound[w]
+		}
+	}
+	inbound := make([][]byte, e.world.n)
+	inbound[e.self] = outbound[e.self]
+	for w := range inbound {
+		if w != e.self {
+			inbound[w] = <-e.world.box(id, w, e.self)
+		}
+	}
+	return inbound, nil
+}
+
+var _ flow.Exchanger = (*memExchanger)(nil)
+
+func TestDistributedJoinIdenticalAcrossAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	rs := testutil.ClusteredDataset(rng, 12, 14, 7, 400)
+	algos := []rankjoin.Algorithm{
+		rankjoin.AlgBruteForce, rankjoin.AlgVJ, rankjoin.AlgVJNL,
+		rankjoin.AlgCL, rankjoin.AlgCLP, rankjoin.AlgVSMART,
+		rankjoin.AlgClusterJoin, rankjoin.AlgFSJoin,
+	}
+	for _, alg := range algos {
+		t.Run(alg.String(), func(t *testing.T) {
+			opts := rankjoin.Options{Algorithm: alg, Theta: 0.3, Delta: 8, Partitions: 5}
+			single, err := rankjoin.NewEngine(rankjoin.EngineConfig{Workers: 2}).Join(rs, opts)
+			if err != nil {
+				t.Fatalf("single-node join: %v", err)
+			}
+
+			const world = 3
+			mw := newMemWorld(world)
+			results := make([]*rankjoin.Result, world)
+			errs := make([]error, world)
+			var wg sync.WaitGroup
+			for w := 0; w < world; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					eng := rankjoin.NewEngine(rankjoin.EngineConfig{
+						Workers:  2,
+						Exchange: &memExchanger{world: mw, self: w},
+					})
+					results[w], errs[w] = eng.Join(rs, opts)
+				}(w)
+			}
+			wg.Wait()
+			for w := 0; w < world; w++ {
+				if errs[w] != nil {
+					t.Fatalf("worker %d: %v", w, errs[w])
+				}
+				if !reflect.DeepEqual(results[w].Pairs, single.Pairs) {
+					t.Fatalf("worker %d: %d pairs != single-node %d pairs",
+						w, len(results[w].Pairs), len(single.Pairs))
+				}
+			}
+		})
+	}
+}

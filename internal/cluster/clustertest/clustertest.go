@@ -1,0 +1,165 @@
+// Package clustertest boots a real multi-peer rankjoin cluster inside
+// one process: every peer gets its own shard index, server, cluster
+// runtime, and TCP listener, and peers talk to each other over actual
+// HTTP — the same code path N separate rankserved processes exercise,
+// minus the process boundary. Used by the e2e tests and cmd/bench's
+// cluster mode; it returns errors instead of depending on testing.T.
+package clustertest
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"rankjoin/internal/cluster"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/server"
+	"rankjoin/internal/shard"
+)
+
+// Options tunes the fleet; zero values take the documented defaults.
+type Options struct {
+	// Shards per peer index (0 = 2).
+	Shards int
+	// RPCTimeout, HedgeDelay, JoinTimeout, ProbeEvery forward into
+	// cluster.Config (zeros take its defaults).
+	RPCTimeout  time.Duration
+	HedgeDelay  time.Duration
+	JoinTimeout time.Duration
+	ProbeEvery  time.Duration
+	// JoinWorkers per peer (0 = 2, deliberately small: N peers × W
+	// workers goroutines share one test process).
+	JoinWorkers int
+	// Logger for all peers (nil discards).
+	Logger *slog.Logger
+}
+
+// Peer is one booted cluster member.
+type Peer struct {
+	Addr    string
+	Cluster *cluster.Cluster
+	Server  *server.Server
+	Index   *shard.Index
+
+	ln   net.Listener
+	http *http.Server
+	done chan struct{}
+}
+
+// Fleet is a booted cluster.
+type Fleet struct {
+	Addrs []string
+	Peers []*Peer
+}
+
+// Boot starts an n-peer cluster on loopback ports. Close the fleet
+// when done.
+func Boot(n int, opt Options) (*Fleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("clustertest: need at least one peer, got %d", n)
+	}
+	if opt.Shards == 0 {
+		opt.Shards = 2
+	}
+	if opt.JoinWorkers == 0 {
+		opt.JoinWorkers = 2
+	}
+	logger := opt.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+
+	// Addresses must be known before any cluster.Config can be built,
+	// so listen first, then assemble the peers.
+	f := &Fleet{}
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, fmt.Errorf("clustertest: listen peer %d: %w", i, err)
+		}
+		lns = append(lns, ln)
+		f.Addrs = append(f.Addrs, ln.Addr().String())
+	}
+
+	for i := 0; i < n; i++ {
+		clu, err := cluster.New(cluster.Config{
+			Self:        i,
+			Peers:       f.Addrs,
+			RPCTimeout:  opt.RPCTimeout,
+			HedgeDelay:  opt.HedgeDelay,
+			JoinTimeout: opt.JoinTimeout,
+			ProbeEvery:  opt.ProbeEvery,
+			JoinWorkers: opt.JoinWorkers,
+			Logger:      logger,
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		idx := shard.New(shard.Config{Shards: opt.Shards})
+		srv := server.New(server.Config{Index: idx, Cluster: clu, Logger: logger})
+		p := &Peer{
+			Addr:    f.Addrs[i],
+			Cluster: clu,
+			Server:  srv,
+			Index:   idx,
+			ln:      lns[i],
+			http:    &http.Server{Handler: srv.Handler()},
+			done:    make(chan struct{}),
+		}
+		go func(p *Peer) {
+			defer close(p.done)
+			p.http.Serve(p.ln)
+		}(p)
+		f.Peers = append(f.Peers, p)
+	}
+	return f, nil
+}
+
+// Load distributes rankings across the fleet by ring ownership,
+// inserting directly into each owner's index (no HTTP) — the same
+// placement rankserved -data applies at boot.
+func (f *Fleet) Load(rs []*rankings.Ranking) error {
+	for _, r := range rs {
+		owner := f.Peers[0].Cluster.Owner(r.ID)
+		if err := f.Peers[owner].Index.Insert(r); err != nil {
+			return fmt.Errorf("clustertest: load id %d into peer %d: %w", r.ID, owner, err)
+		}
+	}
+	return nil
+}
+
+// Kill hard-stops peer i without draining — the listener closes and
+// in-flight connections reset, like a SIGKILL. The peer stays in every
+// other member's configuration, so its shard of the data is simply
+// gone until something answers at that address again.
+func (f *Fleet) Kill(i int) {
+	p := f.Peers[i]
+	p.http.Close()
+	p.ln.Close()
+	<-p.done
+	p.Server.Close()
+}
+
+// URL returns the base URL of peer i.
+func (f *Fleet) URL(i int) string { return "http://" + f.Addrs[i] }
+
+// Close stops every still-running peer.
+func (f *Fleet) Close() {
+	for _, p := range f.Peers {
+		select {
+		case <-p.done: // already killed
+		default:
+			p.http.Close()
+			p.ln.Close()
+			<-p.done
+			p.Server.Close()
+		}
+	}
+}

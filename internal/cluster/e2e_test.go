@@ -1,0 +1,337 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rankjoin"
+	"rankjoin/internal/check"
+	"rankjoin/internal/cluster/clustertest"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/shard"
+	"rankjoin/internal/testutil"
+)
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: parse %q: %v", url, data, err)
+		}
+	}
+	return resp
+}
+
+type searchResp struct {
+	Hits        []shard.Neighbor `json:"hits"`
+	Cached      bool             `json:"cached"`
+	Partial     bool             `json:"partial"`
+	PeersFailed []string         `json:"peers_failed"`
+}
+
+// bruteHits is the single-node oracle for a clustered search.
+func bruteHits(rs []*rankings.Ranking, q *rankings.Ranking, maxDist int, exclude int64, knn int) []shard.Neighbor {
+	var hits []shard.Neighbor
+	for _, r := range rs {
+		if r.ID == exclude {
+			continue
+		}
+		d := rankings.Footrule(q, r)
+		if knn <= 0 && d > maxDist {
+			continue
+		}
+		hits = append(hits, shard.Neighbor{ID: r.ID, Dist: d})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Dist != hits[j].Dist {
+			return hits[i].Dist < hits[j].Dist
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if knn > 0 && len(hits) > knn {
+		hits = hits[:knn]
+	}
+	return hits
+}
+
+func TestClusterScatterGatherMatchesOracle(t *testing.T) {
+	f, err := clustertest.Boot(3, clustertest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	const k = 7
+	rs := testutil.RandDataset(rng, 60, k, 40)
+	if err := f.Load(rs); err != nil {
+		t.Fatal(err)
+	}
+	// Placement actually sharded the data: no peer holds everything.
+	for i, p := range f.Peers {
+		if n := p.Index.Len(); n == 0 || n == len(rs) {
+			t.Fatalf("peer %d holds %d of %d rankings; placement did not shard", i, n, len(rs))
+		}
+	}
+
+	theta := 0.35
+	maxDist := rankings.Threshold(theta, k)
+	for _, q := range rs[:10] {
+		want := bruteHits(rs, q, maxDist, q.ID, 0)
+		// Every peer must give the identical full answer, id-form
+		// queries included — even for ids the receiving peer doesn't own.
+		for i := range f.Peers {
+			var got searchResp
+			postJSON(t, f.URL(i)+"/v1/search", map[string]any{"id": q.ID, "theta": theta}, &got)
+			if got.Partial {
+				t.Fatalf("peer %d: unexpected partial answer", i)
+			}
+			if !reflect.DeepEqual(nonNil(got.Hits), nonNil(want)) {
+				t.Fatalf("peer %d query %d: got %v want %v", i, q.ID, got.Hits, want)
+			}
+		}
+	}
+
+	// kNN: global top-n, not per-peer top-n.
+	for _, q := range rs[:5] {
+		want := bruteHits(rs, q, 0, q.ID, 8)
+		var got searchResp
+		postJSON(t, f.URL(1)+"/v1/knn", map[string]any{"id": q.ID, "k": 8}, &got)
+		if !reflect.DeepEqual(nonNil(got.Hits), nonNil(want)) {
+			t.Fatalf("knn query %d: got %v want %v", q.ID, got.Hits, want)
+		}
+	}
+}
+
+func nonNil(ns []shard.Neighbor) []shard.Neighbor {
+	if ns == nil {
+		return []shard.Neighbor{}
+	}
+	return ns
+}
+
+func TestClusterInsertDeleteRouting(t *testing.T) {
+	f, err := clustertest.Boot(3, clustertest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	rankingsJSON := make([]map[string]any, 30)
+	for i := range rankingsJSON {
+		rankingsJSON[i] = map[string]any{"id": i + 1, "items": []int{i + 1, i + 2, i + 3, i + 4, i + 5}}
+	}
+	var ins struct {
+		Inserted int `json:"inserted"`
+	}
+	postJSON(t, f.URL(0)+"/v1/insert", map[string]any{"rankings": rankingsJSON}, &ins)
+	if ins.Inserted != 30 {
+		t.Fatalf("inserted %d, want 30", ins.Inserted)
+	}
+	total := 0
+	ring := f.Peers[0].Cluster
+	for id := int64(1); id <= 30; id++ {
+		owner := ring.Owner(id)
+		if _, ok := f.Peers[owner].Index.Get(id); !ok {
+			t.Fatalf("id %d not on its owner peer %d", id, owner)
+		}
+		for i := range f.Peers {
+			if i == owner {
+				continue
+			}
+			if _, ok := f.Peers[i].Index.Get(id); ok {
+				t.Fatalf("id %d replicated onto non-owner peer %d", id, i)
+			}
+		}
+	}
+	for _, p := range f.Peers {
+		total += p.Index.Len()
+	}
+	if total != 30 {
+		t.Fatalf("cluster holds %d rankings, want 30", total)
+	}
+
+	ids := make([]int64, 30)
+	for i := range ids {
+		ids[i] = int64(i + 1)
+	}
+	var del struct {
+		Deleted int `json:"deleted"`
+	}
+	postJSON(t, f.URL(2)+"/v1/delete", map[string]any{"ids": ids}, &del)
+	if del.Deleted != 30 {
+		t.Fatalf("deleted %d, want 30", del.Deleted)
+	}
+	for _, p := range f.Peers {
+		if p.Index.Len() != 0 {
+			t.Fatalf("peer still holds %d rankings after delete", p.Index.Len())
+		}
+	}
+}
+
+func TestClusterPartialDegradationOnPeerKill(t *testing.T) {
+	f, err := clustertest.Boot(3, clustertest.Options{
+		RPCTimeout: 500 * time.Millisecond,
+		HedgeDelay: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	rs := testutil.RandDataset(rng, 45, 6, 30)
+	if err := f.Load(rs); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Kill(2)
+
+	var got searchResp
+	postJSON(t, f.URL(0)+"/v1/search",
+		map[string]any{"items": rs[0].Items, "theta": 0.4}, &got)
+	if !got.Partial {
+		t.Fatal("answer not marked partial after peer kill")
+	}
+	if len(got.PeersFailed) != 1 || got.PeersFailed[0] != f.Addrs[2] {
+		t.Fatalf("peers_failed = %v, want [%s]", got.PeersFailed, f.Addrs[2])
+	}
+	// Surviving shards still answered. The items-form query has no
+	// self-exclusion, so rs[0] itself may appear at distance 0.
+	wantLive := bruteHitsOwnedBy(f, rs, rs[0], rankings.Threshold(0.4, 6), shard.NoExclude, []int{0, 1})
+	if !reflect.DeepEqual(nonNil(got.Hits), nonNil(wantLive)) {
+		t.Fatalf("partial hits %v, want surviving-shard hits %v", got.Hits, wantLive)
+	}
+
+	// The failure shows up in telemetry: a hedge (fast-fail retry) and
+	// a partial-response count on the serving peer.
+	metrics := getBody(t, f.URL(0)+"/metrics")
+	for _, want := range []string{
+		"rankserved_cluster_partial_responses_total 1",
+		`rankserved_peer_rpc_hedges_total{peer="` + f.Addrs[2] + `"} 1`,
+		`rankserved_peer_rpc_errors_total{peer="` + f.Addrs[2] + `"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	var st struct {
+		Cluster struct {
+			Partials int64 `json:"partial_responses"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, f.URL(0)+"/statusz")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster.Partials != 1 {
+		t.Fatalf("statusz partial_responses = %d, want 1", st.Cluster.Partials)
+	}
+}
+
+// bruteHitsOwnedBy is bruteHits restricted to rankings owned by the
+// given live peers.
+func bruteHitsOwnedBy(f *clustertest.Fleet, rs []*rankings.Ranking, q *rankings.Ranking, maxDist int, exclude int64, live []int) []shard.Neighbor {
+	ring := f.Peers[0].Cluster
+	alive := make(map[int]bool, len(live))
+	for _, p := range live {
+		alive[p] = true
+	}
+	var kept []*rankings.Ranking
+	for _, r := range rs {
+		if alive[ring.Owner(r.ID)] {
+			kept = append(kept, r)
+		}
+	}
+	return bruteHits(kept, q, maxDist, exclude, 0)
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestDistributedJoinIdenticalOn50Seeds is the acceptance gate for the
+// batch plane: across 50 generated rankcheck trials, a join executed
+// over the wire by a 3-peer cluster must return byte-identical pairs
+// to single-node execution, cycling through all eight algorithms. The
+// fleet is booted once — join jobs carry their own dataset and never
+// touch the serving indexes.
+func TestDistributedJoinIdenticalOn50Seeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-seed wire identity sweep is not a -short test")
+	}
+	f, err := clustertest.Boot(3, clustertest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	algos := []rankjoin.Algorithm{
+		rankjoin.AlgBruteForce, rankjoin.AlgVJ, rankjoin.AlgVJNL,
+		rankjoin.AlgCL, rankjoin.AlgCLP, rankjoin.AlgVSMART,
+		rankjoin.AlgClusterJoin, rankjoin.AlgFSJoin,
+	}
+	for seed := int64(1); seed <= 50; seed++ {
+		p, rs := check.Generate(seed)
+		opts := rankjoin.Options{
+			Algorithm:  algos[int(seed)%len(algos)],
+			Theta:      p.Theta,
+			ThetaC:     p.ThetaC,
+			Delta:      p.Delta,
+			Partitions: p.Partitions,
+		}
+		want, err := rankjoin.NewEngine(rankjoin.EngineConfig{Workers: 2}).Join(rs, opts)
+		if err != nil {
+			t.Fatalf("seed %d: single-node join: %v", seed, err)
+		}
+		got, err := f.Peers[0].Cluster.DistributedJoin(context.Background(), rs, opts)
+		if err != nil {
+			t.Fatalf("seed %d (%s): distributed join: %v", seed, opts.Algorithm, err)
+		}
+		if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+			t.Fatalf("seed %d (%s): distributed %d pairs != single-node %d pairs\n%s",
+				seed, opts.Algorithm, len(got.Pairs), len(want.Pairs),
+				fmt.Sprintf("got %v\nwant %v", clip(got.Pairs), clip(want.Pairs)))
+		}
+	}
+}
+
+func clip(ps []rankings.Pair) []rankings.Pair {
+	if len(ps) > 12 {
+		return ps[:12]
+	}
+	return ps
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import "testing"
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0, 64); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+	if _, err := NewRing(3, 0); err == nil {
+		t.Fatal("zero vnodes accepted")
+	}
+}
+
+func TestRingDeterministicAndInRange(t *testing.T) {
+	a, err := NewRing(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewRing(5, 64)
+	for id := int64(-500); id < 500; id++ {
+		p := a.Owner(id)
+		if p < 0 || p >= 5 {
+			t.Fatalf("id %d owned by out-of-range peer %d", id, p)
+		}
+		if q := b.Owner(id); q != p {
+			t.Fatalf("id %d: rings disagree (%d vs %d)", id, p, q)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const peers, ids = 4, 20000
+	r, err := NewRing(peers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, peers)
+	for id := int64(0); id < ids; id++ {
+		counts[r.Owner(id)]++
+	}
+	// 64 vnodes keeps shares within a loose 2x band of fair.
+	fair := ids / peers
+	for p, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Fatalf("peer %d owns %d of %d ids (fair %d): unbalanced %v", p, n, ids, fair, counts)
+		}
+	}
+}
+
+func TestRingSinglePeerOwnsAll(t *testing.T) {
+	r, err := NewRing(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(0); id < 100; id++ {
+		if r.Owner(id) != 0 {
+			t.Fatalf("single-peer ring gave id %d to peer %d", id, r.Owner(id))
+		}
+	}
+}

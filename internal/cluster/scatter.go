@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/shard"
+)
+
+// Peer-local RPC paths. These are registered by internal/server on
+// every peer and answered against that peer's own index only — no
+// further fan-out, so a scatter never amplifies.
+const (
+	PathSearch  = "/v1/cluster/search"
+	PathGet     = "/v1/cluster/get"
+	PathInsert  = "/v1/cluster/insert"
+	PathDelete  = "/v1/cluster/delete"
+	PathShuffle = "/v1/cluster/shuffle"
+	PathJoin    = "/v1/cluster/join"
+	PathInfo    = "/v1/cluster/info"
+)
+
+// SearchReq is the peer-local search RPC body. KNN > 0 selects top-KNN
+// mode; otherwise the peer derives the range cutoff from Theta and its
+// local k, which equals every other peer's k because inserts enforce a
+// uniform length cluster-wide.
+type SearchReq struct {
+	Items   []rankings.Item `json:"items"`
+	Theta   float64         `json:"theta,omitempty"`
+	KNN     int             `json:"knn,omitempty"`
+	Exclude int64           `json:"exclude"`
+}
+
+// SearchResp carries one peer's local hits.
+type SearchResp struct {
+	Hits []shard.Neighbor `json:"hits"`
+}
+
+// GetReq looks a ranking up by id on its owner peer, so id-form
+// queries resolve against the peer that actually stores the ranking.
+type GetReq struct {
+	ID int64 `json:"id"`
+}
+
+// GetResp returns the ranking when the owner has it.
+type GetResp struct {
+	Found bool            `json:"found"`
+	Items []rankings.Item `json:"items,omitempty"`
+}
+
+// WireRanking is one (id, items) pair for insert RPCs.
+type WireRanking struct {
+	ID    int64           `json:"id"`
+	Items []rankings.Item `json:"items"`
+}
+
+// UpsertReq ships ring-routed rankings to their owner peer.
+type UpsertReq struct {
+	Rankings []WireRanking `json:"rankings"`
+}
+
+// DeleteReq ships ring-routed deletions to their owner peer.
+type DeleteReq struct {
+	IDs []int64 `json:"ids"`
+}
+
+// DeleteResp reports how many of the ids were present.
+type DeleteResp struct {
+	Deleted int `json:"deleted"`
+}
+
+// OKResp acknowledges a mutation RPC.
+type OKResp struct {
+	OK bool `json:"ok"`
+}
+
+// InfoResp describes a peer for the cluster status page.
+type InfoResp struct {
+	Self     int    `json:"self"`
+	Peers    int    `json:"peers"`
+	Rankings int    `json:"rankings"`
+	K        int    `json:"k"`
+	Addr     string `json:"addr"`
+}
+
+// ScatterResult is a merged scatter-gather answer. Partial is true
+// when at least one peer failed and its shard of the data is missing
+// from Hits; Failed names those peers.
+type ScatterResult struct {
+	Hits    []shard.Neighbor
+	Partial bool
+	Failed  []string
+}
+
+// SearchPeer runs the peer-local search RPC against peer p.
+func (c *Cluster) SearchPeer(ctx context.Context, p int, req SearchReq) (SearchResp, error) {
+	return postJSON[SearchReq, SearchResp](ctx, c.peer(p), PathSearch, req, 0)
+}
+
+// GetPeer fetches a ranking by id from peer p.
+func (c *Cluster) GetPeer(ctx context.Context, p int, id int64) (GetResp, error) {
+	return postJSON[GetReq, GetResp](ctx, c.peer(p), PathGet, GetReq{ID: id}, 0)
+}
+
+// UpsertPeer ships rankings to peer p for local insertion.
+func (c *Cluster) UpsertPeer(ctx context.Context, p int, rs []WireRanking) error {
+	_, err := postJSON[UpsertReq, OKResp](ctx, c.peer(p), PathInsert, UpsertReq{Rankings: rs}, 0)
+	return err
+}
+
+// DeletePeer ships deletions to peer p; returns how many existed.
+func (c *Cluster) DeletePeer(ctx context.Context, p int, ids []int64) (int, error) {
+	resp, err := postJSON[DeleteReq, DeleteResp](ctx, c.peer(p), PathDelete, DeleteReq{IDs: ids}, 0)
+	return resp.Deleted, err
+}
+
+// Scatter fans req out to every peer — the local index via the local
+// callback, remote peers via the peer-local search RPC — waits for all
+// of them, and merges. A failed remote peer degrades the answer to
+// partial instead of failing the query; only when every shard fails
+// (local included) does Scatter return an error, the first one seen.
+func (c *Cluster) Scatter(ctx context.Context, req SearchReq, local func(context.Context) ([]shard.Neighbor, error)) (ScatterResult, error) {
+	n := c.Size()
+	hits := make([][]shard.Neighbor, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if p == c.cfg.Self {
+				hits[p], errs[p] = local(ctx)
+				return
+			}
+			resp, err := c.SearchPeer(ctx, p, req)
+			hits[p], errs[p] = resp.Hits, err
+		}(p)
+	}
+	wg.Wait()
+
+	var res ScatterResult
+	var firstErr error
+	ok := 0
+	for p := 0; p < n; p++ {
+		if errs[p] != nil {
+			if firstErr == nil {
+				firstErr = errs[p]
+			}
+			res.Failed = append(res.Failed, c.cfg.Peers[p])
+			c.logger.Warn("cluster: scatter shard failed", "peer", c.cfg.Peers[p], "err", errs[p])
+			continue
+		}
+		ok++
+		res.Hits = append(res.Hits, hits[p]...)
+	}
+	if ok == 0 {
+		return res, firstErr
+	}
+	res.Partial = len(res.Failed) > 0
+	if res.Partial {
+		c.partials.Add(1)
+	}
+	res.Hits = MergeHits(res.Hits, req.KNN)
+	return res, nil
+}
+
+// MergeHits orders shard-local hit lists into one global answer —
+// ascending distance, id-ordered within a distance band (the same
+// deterministic order a single node produces) — and truncates to the
+// top knn when knn > 0.
+func MergeHits(hits []shard.Neighbor, knn int) []shard.Neighbor {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Dist != hits[j].Dist {
+			return hits[i].Dist < hits[j].Dist
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if knn > 0 && len(hits) > knn {
+		hits = hits[:knn]
+	}
+	return hits
+}
+
+// GroupByOwner splits rankings by their owner peer, preserving input
+// order within each group — the routing step behind clustered insert.
+func (c *Cluster) GroupByOwner(rs []WireRanking) map[int][]WireRanking {
+	groups := make(map[int][]WireRanking)
+	for _, r := range rs {
+		p := c.Owner(r.ID)
+		groups[p] = append(groups[p], r)
+	}
+	return groups
+}
+
+// GroupIDsByOwner splits ids by owner peer, for clustered delete.
+func (c *Cluster) GroupIDsByOwner(ids []int64) map[int][]int64 {
+	groups := make(map[int][]int64)
+	for _, id := range ids {
+		p := c.Owner(id)
+		groups[p] = append(groups[p], id)
+	}
+	return groups
+}

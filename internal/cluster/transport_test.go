@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{Job: "j0-1", Collective: 7, Src: 2, Payload: []byte("hello")},
+		{Job: "j3-99", Collective: -1, Src: 0, Payload: nil},
+		{Job: "", Collective: 0, Src: 15, Payload: bytes.Repeat([]byte{0xAB}, 1<<16)},
+	}
+	for _, want := range cases {
+		got, err := decodeFrame(encodeFrame(want))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got.Job != want.Job || got.Collective != want.Collective || got.Src != want.Src || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestFrameDecodeRejectsCorrupt(t *testing.T) {
+	good := encodeFrame(frame{Job: "j", Collective: 1, Src: 0, Payload: []byte("x")})
+	cases := map[string][]byte{
+		"empty":            nil,
+		"bad magic":        append([]byte("NOPE"), good[4:]...),
+		"truncated":        good[:len(good)-1],
+		"trailing garbage": append(append([]byte{}, good...), 0xFF),
+		"giant job length": append(append([]byte{}, frameMagic[:]...), 0xFF, 0xFF, 0xFF, 0x7F),
+	}
+	for name, body := range cases {
+		if _, err := decodeFrame(body); err == nil {
+			t.Errorf("%s: decode accepted corrupt frame", name)
+		}
+	}
+}
+
+func TestInboxDeliveryAndDedup(t *testing.T) {
+	ib := newInbox()
+	f := frame{Job: "j", Collective: 1, Src: 2, Payload: []byte("first")}
+	if !ib.put(f) {
+		t.Fatal("first put dropped")
+	}
+	dup := f
+	dup.Payload = []byte("second")
+	if ib.put(dup) {
+		t.Fatal("duplicate put accepted")
+	}
+	got, err := ib.wait(context.Background(), inboxKey{job: "j", collective: 1, src: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("keep-first violated: got %q", got)
+	}
+}
+
+func TestInboxWaitBeforePut(t *testing.T) {
+	ib := newInbox()
+	done := make(chan []byte, 1)
+	go func() {
+		p, err := ib.wait(context.Background(), inboxKey{job: "j", collective: 3, src: 1})
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- p
+	}()
+	time.Sleep(10 * time.Millisecond)
+	ib.put(frame{Job: "j", Collective: 3, Src: 1, Payload: []byte("late")})
+	if string(<-done) != "late" {
+		t.Fatal("waiter did not receive frame put after wait started")
+	}
+}
+
+func TestInboxWaitHonorsContext(t *testing.T) {
+	ib := newInbox()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := ib.wait(ctx, inboxKey{job: "never", collective: 1, src: 0}); err == nil {
+		t.Fatal("wait returned without a frame")
+	}
+}
+
+func TestInboxFinishJobTombstones(t *testing.T) {
+	ib := newInbox()
+	ib.put(frame{Job: "j", Collective: 1, Src: 0, Payload: []byte("x")})
+	ib.finishJob("j")
+	if ib.depth() != 0 {
+		t.Fatalf("finished job left %d slots", ib.depth())
+	}
+	if ib.put(frame{Job: "j", Collective: 2, Src: 0, Payload: []byte("straggler")}) {
+		t.Fatal("straggler frame accepted after finishJob")
+	}
+	if !ib.put(frame{Job: "other", Collective: 1, Src: 0, Payload: []byte("y")}) {
+		t.Fatal("unrelated job rejected")
+	}
+}

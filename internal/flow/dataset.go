@@ -18,6 +18,15 @@ type Dataset[T any] struct {
 
 	// cache, when non-nil, memoizes computed partitions (RDD.cache()).
 	cache *cacheState[T]
+
+	// owner maps a partition index to its ownership token; token mod
+	// world size selects the worker responsible for computing that
+	// partition in distributed mode. Nil means the identity (partition
+	// index itself). Narrow transformations inherit their parent's
+	// owner since partitions stay index-aligned; Union delegates to the
+	// underlying side so a worker never computes another worker's
+	// shuffle bucket; shuffle outputs reset to the identity.
+	owner func(p int) int
 }
 
 type cacheState[T any] struct {
@@ -60,6 +69,28 @@ func FromPartitions[T any](ctx *Context, partitions [][]T) *Dataset[T] {
 	}
 }
 
+// ownerOf resolves the ownership token of a partition (see the owner
+// field).
+func (d *Dataset[T]) ownerOf(p int) int {
+	if d.owner != nil {
+		return d.owner(p)
+	}
+	return p
+}
+
+// ownedPartitions lists the partitions this worker is responsible for
+// computing — all of them in a world of one.
+func (d *Dataset[T]) ownedPartitions() []int {
+	self, world := d.ctx.world()
+	ps := make([]int, 0, (d.parts+world-1)/world)
+	for p := 0; p < d.parts; p++ {
+		if world == 1 || d.ownerOf(p)%world == self {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
 // partition evaluates one partition, consulting the cache if enabled.
 func (d *Dataset[T]) partition(p int) ([]T, error) {
 	if p < 0 || p >= d.parts {
@@ -88,6 +119,7 @@ func (d *Dataset[T]) Cache() *Dataset[T] {
 		parts:   d.parts,
 		compute: d.partition,
 		cache:   c,
+		owner:   d.owner,
 	}
 }
 
@@ -96,6 +128,7 @@ func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
 	return &Dataset[U]{
 		ctx:   d.ctx,
 		parts: d.parts,
+		owner: d.owner,
 		compute: func(p int) ([]U, error) {
 			in, err := d.partition(p)
 			if err != nil {
@@ -115,6 +148,7 @@ func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
 	return &Dataset[U]{
 		ctx:   d.ctx,
 		parts: d.parts,
+		owner: d.owner,
 		compute: func(p int) ([]U, error) {
 			in, err := d.partition(p)
 			if err != nil {
@@ -134,6 +168,7 @@ func Filter[T any](d *Dataset[T], keep func(T) bool) *Dataset[T] {
 	return &Dataset[T]{
 		ctx:   d.ctx,
 		parts: d.parts,
+		owner: d.owner,
 		compute: func(p int) ([]T, error) {
 			in, err := d.partition(p)
 			if err != nil {
@@ -157,6 +192,7 @@ func MapPartitions[T, U any](d *Dataset[T], f func(p int, in []T) ([]U, error)) 
 	return &Dataset[U]{
 		ctx:   d.ctx,
 		parts: d.parts,
+		owner: d.owner,
 		compute: func(p int) ([]U, error) {
 			in, err := d.partition(p)
 			if err != nil {
@@ -176,6 +212,12 @@ func Union[T any](a, b *Dataset[T]) *Dataset[T] {
 	return &Dataset[T]{
 		ctx:   a.ctx,
 		parts: a.parts + b.parts,
+		owner: func(p int) int {
+			if p < a.parts {
+				return a.ownerOf(p)
+			}
+			return b.ownerOf(p - a.parts)
+		},
 		compute: func(p int) ([]T, error) {
 			if p < a.parts {
 				return a.partition(p)
@@ -186,8 +228,13 @@ func Union[T any](a, b *Dataset[T]) *Dataset[T] {
 }
 
 // Collect materializes the whole dataset on the driver, preserving
-// partition order.
+// partition order. In distributed mode it is an all-gather: every
+// worker computes its owned partitions and receives the rest, so each
+// worker's driver sees the identical full dataset.
 func (d *Dataset[T]) Collect() ([]T, error) {
+	if d.ctx.distributed() {
+		return collectDistributed(d, d.ctx.nextCollective())
+	}
 	outs := make([][]T, d.parts)
 	err := d.ctx.tracedDo("collect", d.parts, func(p int) error {
 		part, err := d.partition(p)
@@ -211,8 +258,12 @@ func (d *Dataset[T]) Collect() ([]T, error) {
 	return all, nil
 }
 
-// Count returns the number of elements.
+// Count returns the number of elements. In distributed mode the
+// per-worker counts are all-gathered and summed on every worker.
 func (d *Dataset[T]) Count() (int64, error) {
+	if d.ctx.distributed() {
+		return countDistributed(d, d.ctx.nextCollective())
+	}
 	var n int64
 	var mu sync.Mutex
 	err := d.ctx.tracedDo("count", d.parts, func(p int) error {
@@ -229,8 +280,13 @@ func (d *Dataset[T]) Count() (int64, error) {
 }
 
 // Reduce folds the dataset with an associative, commutative merge.
-// It returns ok=false on an empty dataset.
+// It returns ok=false on an empty dataset. In distributed mode each
+// worker folds its owned partitions and the partials are all-gathered
+// and merged in rank order on every worker.
 func Reduce[T any](d *Dataset[T], merge func(T, T) T) (T, bool, error) {
+	if d.ctx.distributed() {
+		return reduceDistributed(d, d.ctx.nextCollective(), merge)
+	}
 	var (
 		mu    sync.Mutex
 		acc   T
@@ -265,9 +321,13 @@ func Reduce[T any](d *Dataset[T], merge func(T, T) T) (T, bool, error) {
 }
 
 // ForEachPartition runs fn over every partition for its side effects
-// (writing results to disk, collecting statistics, ...).
+// (writing results to disk, collecting statistics, ...). In
+// distributed mode only the partitions owned by this worker are
+// visited — side effects stay worker-local and are not gathered.
 func (d *Dataset[T]) ForEachPartition(fn func(p int, in []T) error) error {
-	return d.ctx.tracedDo("foreach", d.parts, func(p int) error {
+	ps := d.ownedPartitions()
+	return d.ctx.tracedDo("foreach", len(ps), func(i int) error {
+		p := ps[i]
 		in, err := d.partition(p)
 		if err != nil {
 			return err

@@ -55,6 +55,13 @@ type Config struct {
 	// SpillThreshold is the number of records a single shuffle bucket
 	// may hold in memory before being spilled. Zero means 1<<16.
 	SpillThreshold int
+	// Exchange, when non-nil with a world size above one, runs the
+	// context in distributed SPMD mode: shuffles go over the Exchanger
+	// instead of process memory and actions become all-gathers. See
+	// Exchanger for the execution model. Spilling is disabled for
+	// distributed shuffle buckets, and ForEachPartition visits only the
+	// partitions owned by this worker.
+	Exchange Exchanger
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +85,11 @@ type Context struct {
 	metrics Metrics
 	spill   *spillManager
 	tracer  atomic.Pointer[obs.Tracer]
+
+	// collective numbers every shuffle construction and action call in
+	// driver order. In distributed mode the transport matches frames by
+	// this id; see Exchanger.
+	collective atomic.Int64
 }
 
 // NewContext builds a Context from cfg (see Config for defaults).
@@ -114,6 +126,28 @@ func (c *Context) Histogram(name string) *obs.Histogram { return c.metrics.histo
 
 // Workers returns the executor budget of the context.
 func (c *Context) Workers() int { return c.cfg.Workers }
+
+// world returns this context's rank and world size; a context without
+// an Exchanger is the sole member of a world of one.
+func (c *Context) world() (self, size int) {
+	if c.cfg.Exchange == nil {
+		return 0, 1
+	}
+	return c.cfg.Exchange.World()
+}
+
+// distributed reports whether shuffles and actions go over the wire.
+// A one-worker world runs the plain in-process engine even with an
+// Exchanger attached.
+func (c *Context) distributed() bool {
+	_, size := c.world()
+	return size > 1
+}
+
+// nextCollective assigns the next collective id. Called only from the
+// driver goroutine (dataset construction and actions), so the sequence
+// is identical on every SPMD worker.
+func (c *Context) nextCollective() int64 { return c.collective.Add(1) }
 
 // Close releases spill files, if any. Safe to call on contexts without
 // spilling.

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"fmt"
 	"hash/maphash"
 	"sync"
 	"time"
@@ -31,6 +32,9 @@ type shuffleState[T any] struct {
 	err     error
 	buckets [][]T
 	spilled []string // spill file per partition, "" if in memory
+	// id is the collective id of this shuffle, assigned at
+	// graph-construction time; zero outside distributed mode.
+	id int64
 }
 
 // runShuffle evaluates all source partitions of d, routing each record
@@ -50,6 +54,11 @@ func runShuffle[K comparable, V any](d *Dataset[KV[K, V]], parts int, st *shuffl
 	ctx := d.ctx
 	start := time.Now()
 	defer func() { ctx.metrics.ShuffleNanos.Add(int64(time.Since(start))) }()
+
+	if ctx.distributed() {
+		runShuffleDistributed(d, parts, st)
+		return
+	}
 
 	// The shuffle span attaches to the driver's current scope — the
 	// pipeline phase whose action forced this materialization. All
@@ -163,7 +172,18 @@ func PartitionByKey[K comparable, V any](d *Dataset[KV[K, V]], parts int) *Datas
 	if parts <= 0 {
 		parts = d.ctx.cfg.DefaultPartitions
 	}
+	// In distributed mode every worker must own at least one output
+	// partition of every shuffle: ownership is what makes each worker
+	// reach the shuffle's sync.Once and join its Alltoall. Results are
+	// partition-count invariant (property-tested), so the clamp never
+	// changes the answer.
 	st := &shuffleState[KV[K, V]]{}
+	if d.ctx.distributed() {
+		if _, world := d.ctx.world(); parts < world {
+			parts = world
+		}
+		st.id = d.ctx.nextCollective()
+	}
 	return &Dataset[KV[K, V]]{
 		ctx:   d.ctx,
 		parts: parts,
@@ -171,6 +191,9 @@ func PartitionByKey[K comparable, V any](d *Dataset[KV[K, V]], parts int) *Datas
 			st.once.Do(func() { runShuffle(d, parts, st) })
 			if st.err != nil {
 				return nil, st.err
+			}
+			if self, world := d.ctx.world(); world > 1 && p%world != self {
+				return nil, fmt.Errorf("flow: shuffle partition %d is owned by worker %d, not %d — a distributed pipeline read a non-owned partition", p, p%world, self)
 			}
 			if path := st.spilled[p]; path != "" {
 				return spillRead[KV[K, V]](d.ctx.spill, path)
@@ -244,6 +267,13 @@ func CoGroup[K comparable, V, W any](a *Dataset[KV[K, V]], b *Dataset[KV[K, W]],
 	}
 	if parts <= 0 {
 		parts = a.ctx.cfg.DefaultPartitions
+	}
+	if a.ctx.distributed() {
+		// Match PartitionByKey's world-size clamp so the zipped output
+		// partition count below agrees with both inner shuffles.
+		if _, world := a.ctx.world(); parts < world {
+			parts = world
+		}
 	}
 	sa := PartitionByKey(a, parts)
 	sb := PartitionByKey(b, parts)

@@ -1,0 +1,83 @@
+package rankings
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Gob wire format for Ranking. The position index, signature and
+// popcount are unexported, so without a custom codec encoding/gob
+// would silently strip them: a ranking shipped to a peer would arrive
+// unindexed and every merged-pass kernel on the far side would fall
+// back to its quadratic path with the signature prefilter disabled.
+// The codec therefore serializes only the identity (ID, Items,
+// indexed-bit) and rebuilds the derived state on decode — derived
+// state is a pure function of Items, so reconstruction is exact and
+// the wire stays minimal.
+
+// wireRankingVersion tags the Ranking gob payload so future layout
+// changes can be detected instead of misparsed.
+const wireRankingVersion = 1
+
+// GobEncode implements gob.GobEncoder. Layout: version byte, ID
+// (varint), indexed flag byte, item count (uvarint), items (varints).
+func (r *Ranking) GobEncode() ([]byte, error) {
+	buf := make([]byte, 0, 2+binary.MaxVarintLen64+(len(r.Items)+1)*binary.MaxVarintLen32)
+	buf = append(buf, wireRankingVersion)
+	buf = binary.AppendVarint(buf, r.ID)
+	indexed := byte(0)
+	if r.Indexed() {
+		indexed = 1
+	}
+	buf = append(buf, indexed)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Items)))
+	for _, it := range r.Items {
+		buf = binary.AppendVarint(buf, int64(it))
+	}
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder, rebuilding the position index
+// and signature when the source ranking carried them.
+func (r *Ranking) GobDecode(data []byte) error {
+	rd := bytes.NewReader(data)
+	version, err := rd.ReadByte()
+	if err != nil {
+		return fmt.Errorf("rankings: decode ranking: %w", err)
+	}
+	if version != wireRankingVersion {
+		return fmt.Errorf("rankings: decode ranking: unsupported wire version %d", version)
+	}
+	id, err := binary.ReadVarint(rd)
+	if err != nil {
+		return fmt.Errorf("rankings: decode ranking id: %w", err)
+	}
+	indexed, err := rd.ReadByte()
+	if err != nil {
+		return fmt.Errorf("rankings: decode ranking flags: %w", err)
+	}
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("rankings: decode ranking length: %w", err)
+	}
+	if n > uint64(rd.Len()) { // every item takes ≥ 1 byte
+		return fmt.Errorf("rankings: decode ranking: length %d exceeds payload", n)
+	}
+	items := make([]Item, n)
+	for i := range items {
+		v, err := binary.ReadVarint(rd)
+		if err != nil {
+			return fmt.Errorf("rankings: decode ranking item %d: %w", i, err)
+		}
+		items[i] = Item(v)
+	}
+	if rd.Len() != 0 {
+		return fmt.Errorf("rankings: decode ranking: %d trailing bytes", rd.Len())
+	}
+	*r = Ranking{ID: id, Items: items}
+	if indexed != 0 {
+		r.Index()
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package rankings
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+func TestRankingGobRoundTrip(t *testing.T) {
+	indexed := MustNew(42, []Item{5, 3, 9, 1})
+	indexed.Index()
+	plain := MustNew(-7, []Item{2, 4})
+	empty := &Ranking{ID: 0}
+
+	for _, tc := range []struct {
+		name string
+		r    *Ranking
+	}{
+		{"indexed", indexed},
+		{"unindexed", plain},
+		{"empty", empty},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(tc.r); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			var got *Ranking
+			if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got.ID != tc.r.ID {
+				t.Fatalf("id: got %d want %d", got.ID, tc.r.ID)
+			}
+			if !reflect.DeepEqual(got.Items, tc.r.Items) && !(len(got.Items) == 0 && len(tc.r.Items) == 0) {
+				t.Fatalf("items: got %v want %v", got.Items, tc.r.Items)
+			}
+			if got.Indexed() != tc.r.Indexed() {
+				t.Fatalf("indexed: got %v want %v", got.Indexed(), tc.r.Indexed())
+			}
+			if tc.r.Indexed() {
+				// The derived state must be rebuilt, not merely flagged:
+				// distances through the merged-pass kernel must agree.
+				if d, want := Footrule(got, tc.r), 0; d != want {
+					t.Fatalf("footrule after round trip: got %d want %d", d, want)
+				}
+				gotSig, gotPop := got.Signature()
+				wantSig, wantPop := tc.r.Signature()
+				if gotSig != wantSig || gotPop != wantPop {
+					t.Fatalf("signature not rebuilt on decode")
+				}
+			}
+		})
+	}
+}
+
+func TestRankingGobInsideSlices(t *testing.T) {
+	rs := []*Ranking{MustNew(1, []Item{1, 2, 3}), MustNew(2, []Item{3, 2, 1})}
+	for _, r := range rs {
+		r.Index()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rs); err != nil {
+		t.Fatalf("encode slice: %v", err)
+	}
+	var got []*Ranking
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode slice: %v", err)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 || !got[0].Indexed() {
+		t.Fatalf("slice round trip mismatch: %v", got)
+	}
+}
+
+func TestRankingGobDecodeRejectsCorrupt(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad version", []byte{99, 0, 0, 0}},
+		{"truncated", []byte{wireRankingVersion, 4}},
+		{"oversized length", []byte{wireRankingVersion, 0, 0, 200}},
+	} {
+		var r Ranking
+		if err := r.GobDecode(tc.data); err == nil {
+			t.Errorf("%s: corrupt payload accepted", tc.name)
+		}
+	}
+}

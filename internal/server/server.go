@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rankjoin/internal/cluster"
 	"rankjoin/internal/obs"
 	"rankjoin/internal/ppjoin"
 	"rankjoin/internal/rankings"
@@ -85,6 +86,12 @@ type Config struct {
 	// /statusz QPS and last-minute quantiles (0 = 5s, negative disables
 	// the window loop — windowed stats then degrade to since-boot).
 	WindowInterval time.Duration
+	// Cluster, when non-nil, makes this server one peer of a rankjoin
+	// cluster: /v1/search and /v1/knn scatter-gather across all peers,
+	// /v1/insert and /v1/delete route rankings to their ring owner,
+	// /v1/join runs as a distributed SPMD join, and the peer-local
+	// /v1/cluster/* endpoints are registered. Nil serves single-node.
+	Cluster *cluster.Cluster
 }
 
 // Server is the rankserved request handler. Create with New, mount
@@ -117,6 +124,8 @@ type Server struct {
 	slowTotal    atomic.Int64
 	rePivotTotal atomic.Int64
 	rePivotDur   obs.Histogram // microseconds
+
+	cluster *cluster.Cluster // nil when single-node
 }
 
 // endpointStats tracks request admission, count and latency for one
@@ -205,6 +214,7 @@ func New(cfg Config) *Server {
 		traces:      obs.NewTraceRing(ringSize),
 		winInterval: winInterval,
 		ridPrefix:   fmt.Sprintf("%08x-", uint32(now.UnixNano())),
+		cluster:     cfg.Cluster,
 	}
 	s.batch = newBatcher(idx, cfg.MaxBatch)
 	idx.SetRePivotHook(func(e shard.RePivotEvent) {
@@ -226,6 +236,15 @@ func New(cfg Config) *Server {
 	s.route("/debug/traces", http.MethodGet, s.handleTraces)
 	s.route("/debug/trace", http.MethodGet, s.handleTrace)
 	s.route("/debug/trace/{id}", http.MethodGet, s.handleTraceByID)
+	if s.cluster != nil {
+		s.route(cluster.PathSearch, http.MethodPost, s.handleClusterSearch)
+		s.route(cluster.PathGet, http.MethodPost, s.handleClusterGet)
+		s.route(cluster.PathInsert, http.MethodPost, s.handleClusterInsert)
+		s.route(cluster.PathDelete, http.MethodPost, s.handleClusterDelete)
+		s.route(cluster.PathShuffle, http.MethodPost, s.handleClusterShuffle)
+		s.route(cluster.PathJoin, http.MethodPost, s.handleClusterJoin)
+		s.route(cluster.PathInfo, http.MethodPost, s.handleClusterInfo)
+	}
 	if winInterval > 0 {
 		s.winStop = make(chan struct{})
 		s.winDone = make(chan struct{})
@@ -262,6 +281,10 @@ func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Re
 	s.windows[path] = obs.NewWindow(windowSpan, time.Now())
 	spanName := "http " + path
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		// Mint the request id before any rejection: even a 405 should
+		// be correlatable by the id the client sent (or we minted).
+		rid := s.requestID(r)
+		w.Header().Set("X-Request-Id", rid)
 		if r.Method != method {
 			w.Header().Set("Allow", method)
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
@@ -270,8 +293,6 @@ func (s *Server) route(path, method string, h func(http.ResponseWriter, *http.Re
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		}
-		rid := s.requestID(r)
-		w.Header().Set("X-Request-Id", rid)
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
 		n := st.started.Add(1)
@@ -376,6 +397,10 @@ type queryRequest struct {
 type searchResponse struct {
 	Hits   []shard.Neighbor `json:"hits"`
 	Cached bool             `json:"cached"`
+	// Partial marks a clustered answer that is missing the shards of
+	// the peers named in PeersFailed (degraded, not failed).
+	Partial     bool     `json:"partial,omitempty"`
+	PeersFailed []string `json:"peers_failed,omitempty"`
 }
 
 // parseQuery resolves the three accepted query spellings into a
@@ -426,6 +451,13 @@ func decode(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &httpError{
+				status: http.StatusRequestEntityTooLarge,
+				err:    fmt.Errorf("request body exceeds %d bytes", mbe.Limit),
+			}
+		}
 		return badRequest(fmt.Errorf("bad request body: %w", err))
 	}
 	return nil
@@ -445,12 +477,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) error {
 	if theta < 0 || theta > 1 {
 		return finish(w, badRequest(fmt.Errorf("theta %v out of [0,1]", theta)))
 	}
-	q, exclude, err := s.parseQuery(&req)
+	q, exclude, err := s.resolveClusterQuery(r.Context(), &req)
 	if err != nil {
 		return finish(w, err)
 	}
 	if err := s.checkQueryK(q); err != nil {
 		return finish(w, err)
+	}
+	if s.clustered() {
+		// The query's own k is the cluster-wide k (inserts enforce
+		// uniformity on every peer), so each shard derives the same
+		// cutoff. The epoch-tagged query cache only sees the local
+		// index, so clustered answers bypass it.
+		maxDist := rankings.Threshold(theta, q.K())
+		return s.scatter(r.Context(), w, shard.Query{R: q, MaxDist: maxDist, Exclude: exclude}, theta)
 	}
 	k := s.idx.K()
 	if k == 0 {
@@ -469,12 +509,15 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 	if req.K <= 0 {
 		return finish(w, badRequest(fmt.Errorf("k must be positive, got %d", req.K)))
 	}
-	q, exclude, err := s.parseQuery(&req)
+	q, exclude, err := s.resolveClusterQuery(r.Context(), &req)
 	if err != nil {
 		return finish(w, err)
 	}
 	if err := s.checkQueryK(q); err != nil {
 		return finish(w, err)
+	}
+	if s.clustered() {
+		return s.scatter(r.Context(), w, shard.Query{R: q, KNN: req.K, Exclude: exclude}, 0)
 	}
 	if s.idx.K() == 0 {
 		return writeJSON(w, searchResponse{Hits: []shard.Neighbor{}})
@@ -523,12 +566,19 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
 	sp := ctxSpan(r.Context()).StartChild("serve/insert",
 		obs.Int("rankings", int64(len(req.Rankings))))
 	defer sp.End()
-	n := 0
+	rs := make([]*rankings.Ranking, 0, len(req.Rankings))
 	for _, rj := range req.Rankings {
 		rk, err := rankings.New(rj.ID, rj.Items)
 		if err != nil {
 			return finish(w, badRequest(err))
 		}
+		rs = append(rs, rk)
+	}
+	if s.clustered() {
+		return s.clusterInsert(r.Context(), w, rs)
+	}
+	n := 0
+	for _, rk := range rs {
 		if err := s.idx.Insert(rk); err != nil {
 			return finish(w, err)
 		}
@@ -553,6 +603,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	sp := ctxSpan(r.Context()).StartChild("serve/delete",
 		obs.Int("ids", int64(len(req.IDs))))
 	defer sp.End()
+	if s.clustered() {
+		return s.clusterDelete(r.Context(), w, req.IDs)
+	}
 	n := 0
 	for _, id := range req.IDs {
 		if s.idx.Delete(id) {
@@ -610,6 +663,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 	sp := ctxSpan(r.Context()).StartChild("serve/join",
 		obs.Int("rankings", int64(len(rs))))
 	defer sp.End()
+	if s.clustered() {
+		return s.clusterJoin(r.Context(), w, rs, *req.Theta)
+	}
 	var st ppjoin.Stats
 	pairs := ppjoin.BruteForce(rs, rankings.Threshold(*req.Theta, k), &st)
 	pairs = rankings.DedupPairs(pairs)
@@ -643,6 +699,8 @@ type Status struct {
 	RePivots      RePivotStatus             `json:"re_pivots"`
 	Traces        TracesStatus              `json:"traces"`
 	LastTrace     TraceStatus               `json:"last_trace"`
+	// Cluster is present only when this server is a cluster peer.
+	Cluster *cluster.Status `json:"cluster,omitempty"`
 }
 
 // CacheStatus summarizes the query cache.
@@ -758,6 +816,10 @@ func (s *Server) Status() Status {
 		},
 		Requests: make(map[string]EndpointStatus, len(s.requests)),
 		Windows:  make(map[string]WindowStatus, len(s.requests)),
+	}
+	if s.cluster != nil {
+		cs := s.cluster.StatusSnapshot()
+		st.Cluster = &cs
 	}
 	now := time.Now()
 	for path, es := range s.requests {

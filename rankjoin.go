@@ -226,6 +226,14 @@ type EngineConfig struct {
 	// SpillThreshold is the per-bucket record count that triggers a
 	// spill (0 = 65536).
 	SpillThreshold int
+	// Exchange, when non-nil with a world size above one, runs every
+	// Join on this engine in distributed SPMD mode: all workers in the
+	// exchanger's world must run the identical Join call on the
+	// identical input, shuffles go over the wire, and every worker
+	// returns the identical Result. internal/cluster provides the
+	// HTTP transport implementation; see flow.Exchanger for the
+	// contract.
+	Exchange flow.Exchanger
 }
 
 // Engine is a reusable execution context. The zero-cost way to run a
@@ -242,6 +250,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		DefaultPartitions: cfg.DefaultPartitions,
 		SpillDir:          cfg.SpillDir,
 		SpillThreshold:    cfg.SpillThreshold,
+		Exchange:          cfg.Exchange,
 	})}
 }
 
