@@ -21,6 +21,16 @@
 // With -data in cluster mode each peer loads only the rankings it owns
 // on the placement ring, so the dataset is sharded, not replicated.
 //
+// Durability — -wal-dir turns on the write-ahead log and periodic epoch
+// snapshots: every acked insert/delete is fsynced within the -fsync
+// group-commit window, and a crashed process recovers its exact acked
+// state on the next boot. A second process started with
+// -follower-of <leader> replicates the leader continuously and serves
+// /v1/search and /v1/knn read-only:
+//
+//	rankserved -addr localhost:7001 -wal-dir /var/lib/rankserved
+//	rankserved -addr localhost:7002 -follower-of localhost:7001
+//
 //	curl -s localhost:7357/v1/search -d '{"items":[1,2,3,4,5],"theta":0.2}'
 //	curl -s localhost:7357/v1/knn -d '{"id":42,"k":10}'
 //	curl -s localhost:7357/v1/insert -d '{"rankings":[{"id":7,"items":[9,8,7,6,5]}]}'
@@ -57,6 +67,7 @@ import (
 	"rankjoin/internal/rankings"
 	"rankjoin/internal/server"
 	"rankjoin/internal/shard"
+	"rankjoin/internal/wal"
 )
 
 func main() {
@@ -79,6 +90,11 @@ func main() {
 		peers       = flag.String("peers", "", "comma-separated ordered peer list (host:port); forms a cluster")
 		self        = flag.Int("self", 0, "this peer's index into -peers")
 		joinTimeout = flag.Duration("join-timeout", 2*time.Minute, "distributed join deadline (cluster mode)")
+		walDir      = flag.String("wal-dir", "", "durability directory: write-ahead log + epoch snapshots; recovers on boot")
+		fsyncEvery  = flag.Duration("fsync", 2*time.Millisecond, "group-commit window: acked writes are fsynced within this bound (0 = every commit)")
+		snapEvery   = flag.Duration("snapshot-every", time.Minute, "epoch-snapshot interval (0 disables periodic snapshots)")
+		followerOf  = flag.String("follower-of", "", "run as a read-only replica of this leader (host:port)")
+		replEvery   = flag.Duration("replicate-every", time.Second, "follower poll interval")
 	)
 	flag.Parse()
 
@@ -90,6 +106,13 @@ func main() {
 	fatal := func(msg string, err error) {
 		logger.Error(msg, slog.Any("err", err))
 		os.Exit(1)
+	}
+
+	if *followerOf != "" && *peers != "" {
+		fatal("flags", fmt.Errorf("-follower-of and -peers are mutually exclusive: a follower replicates one leader, it does not join a ring"))
+	}
+	if *followerOf != "" && *walDir != "" {
+		fatal("flags", fmt.Errorf("-follower-of and -wal-dir are mutually exclusive: followers replay the leader's log instead of writing their own"))
 	}
 
 	var clu *cluster.Cluster
@@ -111,7 +134,62 @@ func main() {
 		logger.Info("cluster peer", slog.Int("self", *self), slog.Int("peers", len(list)))
 	}
 
+	// Follower mode: size the index from the leader's shape so shard
+	// epochs line up, then replicate instead of preloading.
+	if *followerOf != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		leaderShards, leaderK, err := server.ProbeLeader(ctx, nil, *followerOf)
+		cancel()
+		if err != nil {
+			fatal("probe leader", err)
+		}
+		if leaderShards > 0 && leaderShards != *shards {
+			logger.Info("follower: adopting leader shard count",
+				slog.Int("flag", *shards), slog.Int("leader", leaderShards))
+			*shards = leaderShards
+		}
+		logger.Info("probed leader", slog.String("leader", *followerOf),
+			slog.Int("shards", leaderShards), slog.Int("k", leaderK))
+		if *data != "" {
+			logger.Warn("follower: ignoring -data; state comes from the leader", slog.String("file", *data))
+			*data = ""
+		}
+	}
+
 	idx := shard.New(shard.Config{Shards: *shards, PivotsPerShard: *pivots, Seed: *seed})
+
+	// Durability: recover from the newest snapshot + WAL tail, then
+	// attach the write hook so every subsequent ack implies an fsynced
+	// record, then start the snapshot ticker.
+	var mgr *wal.Manager
+	if *walDir != "" {
+		var err error
+		mgr, err = wal.Open(*walDir, wal.Config{
+			Shards:        *shards,
+			FsyncEvery:    *fsyncEvery,
+			SnapshotEvery: *snapEvery,
+			Logger:        logger,
+		})
+		if err != nil {
+			fatal("open wal", err)
+		}
+		rec, err := mgr.Recover(idx)
+		if err != nil {
+			fatal("wal recovery", err)
+		}
+		logger.Info("wal recovered", slog.String("dir", *walDir),
+			slog.Int("snapshots", rec.SnapshotsLoaded), slog.Int("invalid_snapshots", rec.InvalidSnapshots),
+			slog.Int("records", rec.RecordsReplayed), slog.Int("torn_tails", rec.TornTails),
+			slog.Int("rankings", idx.Len()))
+		if *data != "" && idx.Len() > 0 {
+			// A recovered index already contains everything that was
+			// acked; replaying the seed file would just re-log it.
+			logger.Info("skipping -data preload: recovered state is newer", slog.String("file", *data))
+			*data = ""
+		}
+		defer mgr.Close()
+	}
+
 	if *data != "" {
 		f, err := os.Open(*data)
 		if err != nil {
@@ -139,6 +217,36 @@ func main() {
 			slog.Int("skipped_not_owned", skipped))
 	}
 
+	if mgr != nil {
+		// Preload ran unhooked (one fsync per ranking would make large
+		// seeds crawl); a snapshot pass makes the preloaded state
+		// durable in one shot, then the hook covers everything after.
+		if idx.Len() > 0 {
+			if err := mgr.SnapshotAll(idx); err != nil {
+				fatal("snapshot preloaded state", err)
+			}
+		}
+		mgr.Attach(idx)
+		mgr.Start(idx)
+	}
+
+	// Follower mode: pull the leader's state before serving, then keep
+	// polling in the background.
+	var replica *server.Replica
+	if *followerOf != "" {
+		replica = server.NewReplica(*followerOf, idx, *replEvery, nil, logger)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		err := replica.SyncOnce(ctx)
+		cancel()
+		if err != nil {
+			fatal("initial replication", err)
+		}
+		replica.Start()
+		defer replica.Close()
+		logger.Info("following leader", slog.String("leader", *followerOf),
+			slog.Int("rankings", idx.Len()), slog.Duration("every", *replEvery))
+	}
+
 	srv := server.New(server.Config{
 		Index:            idx,
 		CacheSize:        *cacheSize,
@@ -149,6 +257,8 @@ func main() {
 		SlowThreshold:    *slowThresh,
 		TraceRingSize:    *traceRing,
 		Cluster:          clu,
+		WAL:              mgr,
+		Replica:          replica,
 	})
 	defer srv.Close()
 

@@ -457,7 +457,9 @@ func runShard(c *collector, p Params, rs []*rankings.Ranking, rng *rand.Rand) {
 				continue
 			}
 			id := ids[rng.Intn(len(ids))]
-			if !idx.Delete(id) {
+			if ok, err := idx.Delete(id); err != nil {
+				c.report(PathShard, KindError, "delete of live id %d failed: %v", id, err)
+			} else if !ok {
 				c.report(PathShard, KindError, "delete of live id %d reported absent", id)
 			}
 			delete(live, id)

@@ -77,11 +77,42 @@ func (p *peerClient) markFailure(err error) {
 // the duplicate launches when the first attempt has neither answered
 // nor failed within hedgeDelay (tail-latency hedge), or immediately
 // when it failed fast (connection refused); the first success wins.
-// Callers whose requests reach do() twice must be idempotent — which
-// upsert, delete, read-only search and inbox-deduplicated shuffle
-// frames all are.
+// Callers whose requests reach do() twice must be idempotent — true of
+// read-only search/get and inbox-deduplicated shuffle frames, and NOT
+// of upsert/delete (a duplicate apply double-bumps the owner's shard
+// epoch, corrupting the WAL/replication cursor): mutations go through
+// doMutate.
 func (p *peerClient) do(ctx context.Context, path string, contentType string, body []byte, timeout time.Duration) ([]byte, error) {
 	return p.doHedged(ctx, path, contentType, body, timeout, true)
+}
+
+// doMutate is the non-idempotent variant: exactly one attempt, no
+// tail-latency hedge and no fast-failure retry, because a duplicated
+// (or ambiguously failed-then-retried) write can apply twice on the
+// owner. Retry policy for mutations belongs to the caller, who knows
+// the request is an upsert/delete and can re-issue it as a fresh
+// intent; this layer must never duplicate one on its own.
+func (p *peerClient) doMutate(ctx context.Context, path string, contentType string, body []byte, timeout time.Duration) ([]byte, error) {
+	if !p.admit() {
+		p.errors.Add(1)
+		return nil, fmt.Errorf("cluster: peer %s: %w (last: %s)", p.addr, ErrPeerDown, p.lastError())
+	}
+	if timeout <= 0 {
+		timeout = p.rpcTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	start := time.Now()
+	p.rpcs.Add(1)
+	data, err := p.once(ctx, path, contentType, body)
+	p.latency.Observe(time.Since(start).Microseconds())
+	if err != nil {
+		p.errors.Add(1)
+		p.markFailure(err)
+		return nil, err
+	}
+	p.markSuccess()
+	return data, nil
 }
 
 // doSlow is do without the tail-latency hedge, for RPCs that are
@@ -198,14 +229,27 @@ func (p *peerClient) lastError() string {
 	return "none"
 }
 
-// postJSON marshals req, posts it, and unmarshals the response.
+// postJSON marshals req, posts it (hedged), and unmarshals the
+// response. Idempotent RPCs only.
 func postJSON[Req, Resp any](ctx context.Context, p *peerClient, path string, req Req, timeout time.Duration) (Resp, error) {
+	return postJSONWith[Req, Resp](ctx, p, p.do, path, req, timeout)
+}
+
+// postJSONMutate is postJSON over doMutate: exactly one attempt, for
+// the non-idempotent write RPCs.
+func postJSONMutate[Req, Resp any](ctx context.Context, p *peerClient, path string, req Req, timeout time.Duration) (Resp, error) {
+	return postJSONWith[Req, Resp](ctx, p, p.doMutate, path, req, timeout)
+}
+
+func postJSONWith[Req, Resp any](ctx context.Context, p *peerClient,
+	send func(context.Context, string, string, []byte, time.Duration) ([]byte, error),
+	path string, req Req, timeout time.Duration) (Resp, error) {
 	var resp Resp
 	body, err := json.Marshal(req)
 	if err != nil {
 		return resp, fmt.Errorf("cluster: marshal %s request: %w", path, err)
 	}
-	data, err := p.do(ctx, path, "application/json", body, timeout)
+	data, err := send(ctx, path, "application/json", body, timeout)
 	if err != nil {
 		return resp, err
 	}

@@ -114,3 +114,54 @@ func TestClientSurfacesServerErrorBody(t *testing.T) {
 		t.Fatalf("want server error text surfaced, got %v", err)
 	}
 }
+
+// TestMutateNeverHedges is the write-path correctness guard: a slow
+// owner must receive a mutation exactly once. The hedged path would
+// launch a duplicate when the first attempt outlives hedgeDelay, and a
+// duplicate apply double-bumps the owner's shard epoch, corrupting the
+// WAL/replication cursor.
+func TestMutateNeverHedges(t *testing.T) {
+	var calls atomic.Int64
+	p := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		time.Sleep(120 * time.Millisecond) // well past hedgeDelay
+		w.Write([]byte(`{"ok":true}`))
+	}), 10*time.Millisecond)
+
+	data, err := p.doMutate(context.Background(), "/v1/cluster/insert", "application/json", []byte(`{}`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"ok":true}` {
+		t.Fatalf("body %q", data)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("slow owner saw %d requests, want exactly 1", got)
+	}
+	if p.hedges.Load() != 0 {
+		t.Fatalf("hedges = %d, want 0 for a mutation", p.hedges.Load())
+	}
+}
+
+// TestMutateNoFastFailRetry: even a fast failure must not be retried by
+// this layer — the connection can die after the owner applied the
+// write, so a blind re-send risks a duplicate apply.
+func TestMutateNoFastFailRetry(t *testing.T) {
+	p := &peerClient{
+		addr:       "127.0.0.1:1", // nothing listens here
+		http:       &http.Client{},
+		rpcTimeout: 200 * time.Millisecond,
+		hedgeDelay: time.Nanosecond, // would retry instantly on the hedged path
+		downAfter:  3,
+		probeEvery: time.Hour,
+	}
+	if _, err := p.doMutate(context.Background(), "/x", "application/json", nil, 0); err == nil {
+		t.Fatal("expected error")
+	}
+	if p.hedges.Load() != 0 {
+		t.Fatalf("hedges = %d, want 0 (mutations never retry)", p.hedges.Load())
+	}
+	if p.rpcs.Load() != 1 {
+		t.Fatalf("rpcs = %d, want 1", p.rpcs.Load())
+	}
+}

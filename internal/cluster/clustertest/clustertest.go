@@ -11,12 +11,14 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"rankjoin/internal/cluster"
 	"rankjoin/internal/rankings"
 	"rankjoin/internal/server"
 	"rankjoin/internal/shard"
+	"rankjoin/internal/wal"
 )
 
 // Options tunes the fleet; zero values take the documented defaults.
@@ -32,6 +34,11 @@ type Options struct {
 	// JoinWorkers per peer (0 = 2, deliberately small: N peers × W
 	// workers goroutines share one test process).
 	JoinWorkers int
+	// WALRoot, when set, gives every peer a write-ahead log under
+	// WALRoot/peer-<i>, enabling KillHard + Restart crash drills.
+	WALRoot string
+	// FsyncEvery forwards into each peer's wal.Config.
+	FsyncEvery time.Duration
 	// Logger for all peers (nil discards).
 	Logger *slog.Logger
 }
@@ -42,6 +49,7 @@ type Peer struct {
 	Cluster *cluster.Cluster
 	Server  *server.Server
 	Index   *shard.Index
+	WAL     *wal.Manager // nil unless Options.WALRoot was set
 
 	ln   net.Listener
 	http *http.Server
@@ -52,6 +60,8 @@ type Peer struct {
 type Fleet struct {
 	Addrs []string
 	Peers []*Peer
+
+	opt Options
 }
 
 // Boot starts an n-peer cluster on loopback ports. Close the fleet
@@ -87,39 +97,70 @@ func Boot(n int, opt Options) (*Fleet, error) {
 		f.Addrs = append(f.Addrs, ln.Addr().String())
 	}
 
+	f.opt = opt
 	for i := 0; i < n; i++ {
-		clu, err := cluster.New(cluster.Config{
-			Self:        i,
-			Peers:       f.Addrs,
-			RPCTimeout:  opt.RPCTimeout,
-			HedgeDelay:  opt.HedgeDelay,
-			JoinTimeout: opt.JoinTimeout,
-			ProbeEvery:  opt.ProbeEvery,
-			JoinWorkers: opt.JoinWorkers,
-			Logger:      logger,
-		})
+		p, err := f.bootPeer(i, lns[i])
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
-		idx := shard.New(shard.Config{Shards: opt.Shards})
-		srv := server.New(server.Config{Index: idx, Cluster: clu, Logger: logger})
-		p := &Peer{
-			Addr:    f.Addrs[i],
-			Cluster: clu,
-			Server:  srv,
-			Index:   idx,
-			ln:      lns[i],
-			http:    &http.Server{Handler: srv.Handler()},
-			done:    make(chan struct{}),
-		}
-		go func(p *Peer) {
-			defer close(p.done)
-			p.http.Serve(p.ln)
-		}(p)
 		f.Peers = append(f.Peers, p)
 	}
 	return f, nil
+}
+
+// bootPeer assembles and starts one peer on an already-bound listener,
+// recovering from its WAL directory when the fleet is durable.
+func (f *Fleet) bootPeer(i int, ln net.Listener) (*Peer, error) {
+	logger := f.opt.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	clu, err := cluster.New(cluster.Config{
+		Self:        i,
+		Peers:       f.Addrs,
+		RPCTimeout:  f.opt.RPCTimeout,
+		HedgeDelay:  f.opt.HedgeDelay,
+		JoinTimeout: f.opt.JoinTimeout,
+		ProbeEvery:  f.opt.ProbeEvery,
+		JoinWorkers: f.opt.JoinWorkers,
+		Logger:      logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx := shard.New(shard.Config{Shards: f.opt.Shards})
+	var mgr *wal.Manager
+	if f.opt.WALRoot != "" {
+		mgr, err = wal.Open(filepath.Join(f.opt.WALRoot, fmt.Sprintf("peer-%d", i)), wal.Config{
+			Shards:     f.opt.Shards,
+			FsyncEvery: f.opt.FsyncEvery,
+			Logger:     logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("clustertest: open wal peer %d: %w", i, err)
+		}
+		if _, err := mgr.Recover(idx); err != nil {
+			return nil, fmt.Errorf("clustertest: recover peer %d: %w", i, err)
+		}
+		mgr.Attach(idx)
+	}
+	srv := server.New(server.Config{Index: idx, Cluster: clu, Logger: logger, WAL: mgr})
+	p := &Peer{
+		Addr:    f.Addrs[i],
+		Cluster: clu,
+		Server:  srv,
+		Index:   idx,
+		WAL:     mgr,
+		ln:      ln,
+		http:    &http.Server{Handler: srv.Handler()},
+		done:    make(chan struct{}),
+	}
+	go func(p *Peer) {
+		defer close(p.done)
+		p.http.Serve(p.ln)
+	}(p)
+	return p, nil
 }
 
 // Load distributes rankings across the fleet by ring ownership,
@@ -145,6 +186,60 @@ func (f *Fleet) Kill(i int) {
 	p.ln.Close()
 	<-p.done
 	p.Server.Close()
+	if p.WAL != nil {
+		p.WAL.Close()
+	}
+}
+
+// KillHard crashes peer i with SIGKILL semantics: the listener resets
+// in-flight connections and the peer's WAL drops its user-space write
+// buffer — only bytes the OS already has (everything acked, thanks to
+// ack-after-fsync) survive for Restart to recover.
+func (f *Fleet) KillHard(i int) {
+	p := f.Peers[i]
+	p.http.Close()
+	p.ln.Close()
+	<-p.done
+	if p.WAL != nil {
+		p.WAL.Crash()
+	}
+	p.Server.Close()
+}
+
+// Restart reboots a killed peer on its original address, recovering
+// its index from the snapshot + WAL tail exactly as a rebooted
+// rankserved process would. Requires Options.WALRoot (a non-durable
+// peer has nothing to recover from).
+func (f *Fleet) Restart(i int) error {
+	if f.opt.WALRoot == "" {
+		return fmt.Errorf("clustertest: Restart(%d) needs Options.WALRoot", i)
+	}
+	select {
+	case <-f.Peers[i].done:
+	default:
+		return fmt.Errorf("clustertest: peer %d is still running", i)
+	}
+	// The old listener just closed; the port can lag a beat before it
+	// rebinds.
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", f.Addrs[i])
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("clustertest: rebind peer %d: %w", i, err)
+	}
+	p, err := f.bootPeer(i, ln)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	f.Peers[i] = p
+	return nil
 }
 
 // URL returns the base URL of peer i.
@@ -160,6 +255,9 @@ func (f *Fleet) Close() {
 			p.ln.Close()
 			<-p.done
 			p.Server.Close()
+			if p.WAL != nil {
+				p.WAL.Close()
+			}
 		}
 	}
 }

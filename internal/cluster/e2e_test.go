@@ -335,3 +335,97 @@ func clip(ps []rankings.Pair) []rankings.Pair {
 	}
 	return ps
 }
+
+// TestClusterCrashRecoveryDrill is the fleet-level durability drill: a
+// durable peer is crashed (SIGKILL semantics — user-space WAL buffers
+// discarded) in the middle of write churn, rebooted on the same
+// address, and must come back holding every write the cluster
+// acknowledged, with scatter-gather answers whole again.
+func TestClusterCrashRecoveryDrill(t *testing.T) {
+	fleet, err := clustertest.Boot(3, clustertest.Options{
+		Shards:     2,
+		WALRoot:    t.TempDir(),
+		FsyncEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	rng := rand.New(rand.NewSource(77))
+	acked := make(map[int64][]rankings.Item)
+	insert := func(rs []*rankings.Ranking) bool {
+		body := map[string]any{"rankings": wireRankings(rs)}
+		var out map[string]any
+		resp := postJSON(t, fleet.URL(0)+"/v1/insert", body, &out)
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		for _, r := range rs {
+			acked[r.ID] = r.Items
+		}
+		return true
+	}
+
+	if !insert(testutil.RandDataset(rng, 60, 5, 200)) {
+		t.Fatal("seed insert failed")
+	}
+
+	// Churn in batches; crash the victim partway through. Batches that
+	// land while the victim is down fail (its owners are unreachable) —
+	// those are not acked and carry no durability promise.
+	const victim = 2
+	for batch := 0; batch < 8; batch++ {
+		if batch == 3 {
+			fleet.KillHard(victim)
+		}
+		rs := make([]*rankings.Ranking, 10)
+		for i := range rs {
+			rs[i] = testutil.RandRanking(rng, int64(1000+batch*10+i), 5, 200)
+		}
+		insert(rs)
+	}
+	if err := fleet.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every acknowledged write must be somewhere in the fleet — owners
+	// recovered theirs from snapshot+WAL.
+	for id, items := range acked {
+		owner := fleet.Peers[0].Cluster.Owner(id)
+		r, ok := fleet.Peers[owner].Index.Get(id)
+		if !ok {
+			t.Fatalf("acked id %d lost after crash+restart (owner %d)", id, owner)
+		}
+		for j := range items {
+			if r.Items[j] != items[j] {
+				t.Fatalf("acked id %d corrupted after recovery", id)
+			}
+		}
+	}
+
+	// And the serving plane is whole again: a scatter query answers
+	// non-partially and matches the oracle.
+	var all []*rankings.Ranking
+	for id, items := range acked {
+		all = append(all, rankings.MustNew(id, items))
+	}
+	q := all[0]
+	var sr searchResp
+	postJSON(t, fleet.URL(1)+"/v1/search", map[string]any{"items": q.Items, "theta": 0.4}, &sr)
+	if sr.Partial {
+		t.Fatalf("post-recovery scatter still partial: failed peers %v", sr.PeersFailed)
+	}
+	want := bruteHits(all, q, rankings.Threshold(0.4, q.K()), -1, 0)
+	if !reflect.DeepEqual(sr.Hits, want) {
+		t.Fatalf("post-recovery hits = %v, want %v", sr.Hits, want)
+	}
+}
+
+func wireRankings(rs []*rankings.Ranking) []map[string]any {
+	out := make([]map[string]any, len(rs))
+	for i, r := range rs {
+		out[i] = map[string]any{"id": r.ID, "items": r.Items}
+	}
+	return out
+}

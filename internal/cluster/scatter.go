@@ -20,6 +20,11 @@ const (
 	PathShuffle = "/v1/cluster/shuffle"
 	PathJoin    = "/v1/cluster/join"
 	PathInfo    = "/v1/cluster/info"
+	// PathReplicate is the durability plane's pull endpoint: a follower
+	// posts its per-shard epoch vector and receives, per shard, either
+	// the WAL records above its epoch or a full snapshot. Registered
+	// even without a peer ring — replication works on a single node.
+	PathReplicate = "/v1/cluster/replicate"
 )
 
 // SearchReq is the peer-local search RPC body. KNN > 0 selects top-KNN
@@ -104,15 +109,18 @@ func (c *Cluster) GetPeer(ctx context.Context, p int, id int64) (GetResp, error)
 	return postJSON[GetReq, GetResp](ctx, c.peer(p), PathGet, GetReq{ID: id}, 0)
 }
 
-// UpsertPeer ships rankings to peer p for local insertion.
+// UpsertPeer ships rankings to peer p for local insertion. Mutating
+// RPC: exactly one attempt, never hedged — a timer-hedged duplicate
+// would apply twice on the owner and double-bump its shard epochs.
 func (c *Cluster) UpsertPeer(ctx context.Context, p int, rs []WireRanking) error {
-	_, err := postJSON[UpsertReq, OKResp](ctx, c.peer(p), PathInsert, UpsertReq{Rankings: rs}, 0)
+	_, err := postJSONMutate[UpsertReq, OKResp](ctx, c.peer(p), PathInsert, UpsertReq{Rankings: rs}, 0)
 	return err
 }
 
 // DeletePeer ships deletions to peer p; returns how many existed.
+// Mutating RPC: exactly one attempt, as in UpsertPeer.
 func (c *Cluster) DeletePeer(ctx context.Context, p int, ids []int64) (int, error) {
-	resp, err := postJSON[DeleteReq, DeleteResp](ctx, c.peer(p), PathDelete, DeleteReq{IDs: ids}, 0)
+	resp, err := postJSONMutate[DeleteReq, DeleteResp](ctx, c.peer(p), PathDelete, DeleteReq{IDs: ids}, 0)
 	return resp.Deleted, err
 }
 

@@ -168,7 +168,11 @@ func (s *Server) handleClusterDelete(w http.ResponseWriter, r *http.Request) err
 	}
 	n := 0
 	for _, id := range req.IDs {
-		if s.idx.Delete(id) {
+		ok, err := s.idx.Delete(id)
+		if err != nil {
+			return finish(w, fmt.Errorf("delete %d: %w", id, err))
+		}
+		if ok {
 			n++
 		}
 	}
@@ -291,11 +295,17 @@ func (s *Server) clusterDelete(ctx context.Context, w http.ResponseWriter, ids [
 	)
 	// As in clusterInsert: the local tally stays off n until Wait.
 	local := 0
+	var localErr error
 	n := 0
 	for peer, group := range groups {
 		if peer == s.cluster.Self() {
 			for _, id := range group {
-				if s.idx.Delete(id) {
+				ok, err := s.idx.Delete(id)
+				if err != nil {
+					localErr = fmt.Errorf("delete %d: %w", id, err)
+					break
+				}
+				if ok {
 					local++
 				}
 			}
@@ -315,6 +325,9 @@ func (s *Server) clusterDelete(ctx context.Context, w http.ResponseWriter, ids [
 		}(peer, group)
 	}
 	wg.Wait()
+	if localErr != nil {
+		return finish(w, localErr)
+	}
 	n += local
 	if failed, first := countErrs(perPeer); failed > 0 {
 		return finish(w, &httpError{status: http.StatusBadGateway,

@@ -180,6 +180,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
 		m.Int("rankserved_cluster_peers", int64(len(cs.Peers)))
 	}
 
+	// --- durability (only when a WAL is attached) ---
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		m.Metric("rankserved_wal_records_total", "counter", "Records appended to the write-ahead log.")
+		m.Int("rankserved_wal_records_total", ws.Records)
+		m.Metric("rankserved_wal_appended_bytes_total", "counter", "Bytes appended to the WAL (buffered or durable).")
+		m.Int("rankserved_wal_appended_bytes_total", ws.AppendedBytes)
+		m.Metric("rankserved_wal_durable_bytes_total", "counter", "WAL bytes past fsync; appended minus durable is the at-risk window.")
+		m.Int("rankserved_wal_durable_bytes_total", ws.DurableBytes)
+		m.Metric("rankserved_wal_fsyncs_total", "counter", "Group-commit fsyncs issued.")
+		m.Int("rankserved_wal_fsyncs_total", ws.Fsyncs)
+		m.Metric("rankserved_wal_fsync_duration_seconds", "histogram", "fsync latency (one observation per group commit).")
+		m.Histogram("rankserved_wal_fsync_duration_seconds", ws.FsyncMicros, 1e6)
+		m.Metric("rankserved_wal_snapshots_total", "counter", "Epoch snapshots written.")
+		m.Int("rankserved_wal_snapshots_total", ws.Snapshots)
+		m.Metric("rankserved_wal_snapshot_errors_total", "counter", "Snapshot attempts that failed.")
+		m.Int("rankserved_wal_snapshot_errors_total", ws.SnapshotErrors)
+		m.Metric("rankserved_wal_snapshot_age_seconds", "gauge", "Seconds since the last completed snapshot pass (-1 before the first).")
+		m.Value("rankserved_wal_snapshot_age_seconds", ws.SnapshotAge)
+		m.Metric("rankserved_wal_snapshot_epoch", "gauge", "Epoch captured by the newest snapshot, per shard (WAL below it is reclaimable).")
+		for i, e := range ws.SnapshotEpochs {
+			m.Int("rankserved_wal_snapshot_epoch", int64(e), shardLabel(i))
+		}
+	}
+
+	// --- replica (only when following a leader) ---
+	if s.replica != nil {
+		rs := s.replica.Status()
+		m.Metric("rankserved_replica_lag_epochs", "gauge", "Sum over shards of leader epoch minus local epoch at the last poll.")
+		m.Int("rankserved_replica_lag_epochs", rs.LagEpochs)
+		m.Metric("rankserved_replica_syncs_total", "counter", "Successful replication rounds.")
+		m.Int("rankserved_replica_syncs_total", rs.Syncs)
+		m.Metric("rankserved_replica_full_shard_syncs_total", "counter", "Shards loaded via full snapshot instead of a WAL delta.")
+		m.Int("rankserved_replica_full_shard_syncs_total", rs.FullShardLoads)
+		m.Metric("rankserved_replica_records_applied_total", "counter", "WAL records applied from the leader.")
+		m.Int("rankserved_replica_records_applied_total", rs.RecordsApplied)
+		m.Metric("rankserved_replica_errors_total", "counter", "Replication rounds that failed.")
+		m.Int("rankserved_replica_errors_total", rs.Errors)
+		m.Metric("rankserved_replica_last_sync_age_seconds", "gauge", "Seconds since the last successful sync (-1 before the first).")
+		m.Value("rankserved_replica_last_sync_age_seconds", rs.LastSyncAgeS)
+	}
+
 	if err := m.Err(); err != nil {
 		return err
 	}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/shard"
+	"rankjoin/internal/testutil"
+	"rankjoin/internal/wal"
+)
+
+// leaderWithWAL boots a durable leader over a temp WAL directory.
+func leaderWithWAL(t *testing.T, shards int) (*Server, string, *shard.Index) {
+	t.Helper()
+	idx := shard.New(shard.Config{Shards: shards})
+	mgr, err := wal.Open(t.TempDir(), wal.Config{Shards: shards, FsyncEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	if _, err := mgr.Recover(idx); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Attach(idx)
+	s, ts := newTestServer(t, Config{Index: idx, WAL: mgr})
+	return s, strings.TrimPrefix(ts.URL, "http://"), idx
+}
+
+// follower builds a replica index + server polling addr. The replica is
+// driven manually with SyncOnce so tests control exactly when state
+// moves.
+func follower(t *testing.T, addr string, shards int) (*Replica, string) {
+	t.Helper()
+	idx := shard.New(shard.Config{Shards: shards})
+	rep := NewReplica(addr, idx, time.Second, nil, nil)
+	_, ts := newTestServer(t, Config{Index: idx, Replica: rep})
+	return rep, ts.URL
+}
+
+// TestFollowerReadOnly: a replica answers queries and refuses writes
+// with 403 — writes belong to the leader.
+func TestFollowerReadOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	_, leaderAddr, _ := leaderWithWAL(t, 2)
+	rs := testutil.RandDataset(rng, 20, 5, 60)
+	insertRankings(t, "http://"+leaderAddr, rs)
+
+	rep, fURL := follower(t, leaderAddr, 2)
+	if err := rep.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if hits, _ := searchHits(t, fURL, map[string]any{"items": rs[0].Items, "theta": 0.3}); len(hits) == 0 {
+		t.Fatal("follower answered no hits over replicated data")
+	}
+	code, out := post(t, fURL+"/v1/insert", map[string]any{"rankings": toJSON(rs[:1])})
+	if code != http.StatusForbidden {
+		t.Fatalf("follower insert returned %d (%s), want 403", code, out["error"])
+	}
+	code, out = post(t, fURL+"/v1/delete", map[string]any{"ids": []int64{rs[0].ID}})
+	if code != http.StatusForbidden {
+		t.Fatalf("follower delete returned %d (%s), want 403", code, out["error"])
+	}
+}
+
+// TestLeaderFollowerEquivalence is the acceptance check: once the
+// follower's epoch vector matches the leader's, /v1/search answers are
+// identical — after the bootstrap full sync and after an incremental
+// WAL-delta sync.
+func TestLeaderFollowerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	leaderSrv, leaderAddr, leaderIdx := leaderWithWAL(t, 4)
+	rs := testutil.RandDataset(rng, 120, 6, 200)
+	insertRankings(t, "http://"+leaderAddr, rs)
+
+	rep, fURL := follower(t, leaderAddr, 4)
+	if err := rep.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := rep.Status(); st.FullShardLoads == 0 {
+		t.Fatal("bootstrap did not use full shard syncs")
+	}
+	compareAnswers(t, "http://"+leaderAddr, fURL, rs, rng)
+
+	// Incremental round: mutate the leader, sync, re-compare. This must
+	// ride the WAL delta, not re-ship shards.
+	more := testutil.RandDataset(rng, 30, 6, 200)
+	for i := range more {
+		more[i].ID += 10_000
+	}
+	insertRankings(t, "http://"+leaderAddr, more)
+	if code, out := post(t, "http://"+leaderAddr+"/v1/delete", map[string]any{"ids": []int64{rs[3].ID, rs[7].ID}}); code != http.StatusOK {
+		t.Fatalf("leader delete returned %d: %s", code, out["error"])
+	}
+	before := rep.Status()
+	if err := rep.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	after := rep.Status()
+	if after.FullShardLoads != before.FullShardLoads {
+		t.Fatalf("incremental sync re-shipped %d full shards", after.FullShardLoads-before.FullShardLoads)
+	}
+	if got := after.RecordsApplied - before.RecordsApplied; got != int64(len(more))+2 {
+		t.Fatalf("delta applied %d records, want %d", got, len(more)+2)
+	}
+
+	fe := rep.idx.Epochs()
+	le := leaderIdx.Epochs()
+	for i := range le {
+		if fe[i] != le[i] {
+			t.Fatalf("shard %d: follower epoch %d, leader %d", i, fe[i], le[i])
+		}
+	}
+	compareAnswers(t, "http://"+leaderAddr, fURL, append(rs, more...), rng)
+	_ = leaderSrv
+}
+
+// compareAnswers fires a handful of range and kNN queries at both
+// servers and requires identical hit lists at the same epoch vector.
+func compareAnswers(t *testing.T, leaderURL, followerURL string, rs []*rankings.Ranking, rng *rand.Rand) {
+	t.Helper()
+	for q := 0; q < 8; q++ {
+		r := rs[rng.Intn(len(rs))]
+		var path string
+		var body map[string]any
+		if q%2 == 0 {
+			path, body = "/v1/search", map[string]any{"items": r.Items, "theta": 0.4}
+		} else {
+			path, body = "/v1/knn", map[string]any{"items": r.Items, "k": 5}
+		}
+		lHits := queryHits(t, leaderURL+path, body)
+		fHits := queryHits(t, followerURL+path, body)
+		if !sameNeighbors(lHits, fHits) {
+			t.Fatalf("query %d (%s %v): leader %v != follower %v", q, path, body, lHits, fHits)
+		}
+	}
+}
+
+func queryHits(t *testing.T, url string, body any) []shard.Neighbor {
+	t.Helper()
+	code, out := post(t, url, body)
+	if code != http.StatusOK {
+		t.Fatalf("%s returned %d: %s", url, code, out["error"])
+	}
+	var hits []shard.Neighbor
+	if err := json.Unmarshal(out["hits"], &hits); err != nil {
+		t.Fatal(err)
+	}
+	return hits
+}

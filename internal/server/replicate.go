@@ -1,0 +1,372 @@
+package server
+
+// The replication plane: a follower polls its leader's
+// /v1/cluster/replicate with its per-shard epoch vector; the leader
+// answers, per shard, with whichever is cheaper and available —
+// nothing (epochs equal), the WAL records above the follower's epoch
+// (contiguity-verified against the leader's segments), or a full
+// epoch-consistent shard snapshot (bootstrap, history below the
+// compaction floor, or a follower that is somehow ahead, e.g. after
+// the leader lost its disk). The shard epoch is the only cursor in the
+// protocol, which is what PR-level invariant "one epoch per mutation"
+// buys: catch-up is a contiguous replay, and "follower at the same
+// epoch vector answers identically" is checkable.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rankjoin/internal/cluster"
+	"rankjoin/internal/rankings"
+	"rankjoin/internal/shard"
+	"rankjoin/internal/wal"
+)
+
+// replicateRequest is the follower's poll. Epochs is its per-shard
+// epoch vector; empty means "I have nothing" (bootstrap). Probe asks
+// for the response header (NumShards, K) without any shard payloads —
+// the shape handshake a booting follower sizes its index from.
+type replicateRequest struct {
+	Epochs []uint64 `json:"epochs,omitempty"`
+	Probe  bool     `json:"probe,omitempty"`
+}
+
+// wireRecord is one WAL record on the wire.
+type wireRecord struct {
+	Op    string          `json:"op"` // "i" | "d"
+	Epoch uint64          `json:"epoch"`
+	ID    int64           `json:"id"`
+	Items []rankings.Item `json:"items,omitempty"`
+}
+
+// replicateShard is one shard's payload: Full carries a consistent
+// snapshot in Rankings; otherwise Records holds the contiguous delta
+// (possibly empty when the follower is already at Epoch).
+type replicateShard struct {
+	Shard    int           `json:"shard"`
+	Epoch    uint64        `json:"epoch"` // follower's epoch after applying this payload
+	Full     bool          `json:"full,omitempty"`
+	Rankings []rankingJSON `json:"rankings,omitempty"`
+	Records  []wireRecord  `json:"records,omitempty"`
+}
+
+type replicateResponse struct {
+	NumShards int              `json:"num_shards"`
+	K         int              `json:"k"`
+	Shards    []replicateShard `json:"shards,omitempty"`
+}
+
+// handleReplicate is the leader side.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) error {
+	var req replicateRequest
+	if err := decode(r, &req); err != nil {
+		return finish(w, err)
+	}
+	n := s.idx.NumShards()
+	resp := replicateResponse{NumShards: n, K: s.idx.K()}
+	if req.Probe {
+		return writeJSON(w, resp)
+	}
+	if len(req.Epochs) != 0 && len(req.Epochs) != n {
+		return finish(w, badRequest(fmt.Errorf(
+			"epoch vector has %d shards, index has %d", len(req.Epochs), n)))
+	}
+	resp.Shards = make([]replicateShard, 0, n)
+	for i := 0; i < n; i++ {
+		var fe uint64
+		if len(req.Epochs) == n {
+			fe = req.Epochs[i]
+		}
+		resp.Shards = append(resp.Shards, s.replicateShard(i, fe))
+	}
+	return writeJSON(w, resp)
+}
+
+// replicateShard assembles one shard's payload for a follower at
+// epoch fe.
+func (s *Server) replicateShard(i int, fe uint64) replicateShard {
+	if s.idx.Epochs()[i] == fe {
+		return replicateShard{Shard: i, Epoch: fe} // already caught up
+	}
+	if s.wal != nil && fe > 0 {
+		if recs, ok, err := s.wal.RecordsSince(i, fe); err == nil && ok {
+			out := replicateShard{Shard: i, Epoch: fe, Records: make([]wireRecord, 0, len(recs))}
+			for _, rec := range recs {
+				wr := wireRecord{Epoch: rec.Epoch, ID: rec.ID}
+				switch rec.Op {
+				case wal.OpInsert:
+					wr.Op = "i"
+					wr.Items = rec.Items
+				case wal.OpDelete:
+					wr.Op = "d"
+				}
+				out.Records = append(out.Records, wr)
+				out.Epoch = rec.Epoch
+			}
+			return out
+		}
+	}
+	// Fallback: a consistent full snapshot (bootstrap, compacted
+	// history, or a follower ahead of us).
+	rs, e := s.idx.SnapshotShard(i, nil)
+	if e == fe {
+		return replicateShard{Shard: i, Epoch: fe} // raced to equal; no-op
+	}
+	full := replicateShard{Shard: i, Epoch: e, Full: true,
+		Rankings: make([]rankingJSON, len(rs))}
+	for j, r := range rs {
+		full.Rankings[j] = rankingJSON{ID: r.ID, Items: r.Items}
+	}
+	return full
+}
+
+// Replica is the follower side: it bootstraps from and then
+// continuously polls a leader, applying epoch deltas (or full shard
+// snapshots) to the local index. The server it is handed to serves
+// /v1/search and /v1/knn from that index and rejects writes.
+type Replica struct {
+	leader string
+	idx    *shard.Index
+	every  time.Duration
+	client *http.Client
+	logger *slog.Logger
+
+	lagEpochs      atomic.Int64 // Σ(leader − local) observed pre-apply
+	syncs          atomic.Int64
+	fullShardLoads atomic.Int64
+	recordsApplied atomic.Int64
+	errs           atomic.Int64
+	lastSyncNano   atomic.Int64
+	lastErr        atomic.Pointer[string]
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// ErrLeaderShape reports a leader whose shard count or k no longer
+// matches the follower's index; the follower cannot proceed.
+var ErrLeaderShape = errors.New("server: leader shape mismatch")
+
+// NewReplica builds a follower of the leader at addr (host:port).
+// every is the poll interval (0 = 1s); client may be nil.
+func NewReplica(addr string, idx *shard.Index, every time.Duration, client *http.Client, logger *slog.Logger) *Replica {
+	if every <= 0 {
+		every = time.Second
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return &Replica{
+		leader: addr,
+		idx:    idx,
+		every:  every,
+		client: client,
+		logger: logger,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// ProbeLeader asks the leader at addr for its index shape — the
+// handshake a booting follower sizes its own index from.
+func ProbeLeader(ctx context.Context, client *http.Client, addr string) (numShards, k int, err error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := postReplicate(ctx, client, addr, replicateRequest{Probe: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.NumShards, resp.K, nil
+}
+
+func postReplicate(ctx context.Context, client *http.Client, addr string, req replicateRequest) (replicateResponse, error) {
+	var out replicateResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, fmt.Errorf("server: marshal replicate request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+addr+cluster.PathReplicate, bytes.NewReader(body))
+	if err != nil {
+		return out, fmt.Errorf("server: build replicate request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := client.Do(hreq)
+	if err != nil {
+		return out, fmt.Errorf("server: leader %s: %w", addr, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("server: leader %s: replicate status %d", addr, hresp.StatusCode)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("server: leader %s: parse replicate response: %w", addr, err)
+	}
+	return out, nil
+}
+
+// SyncOnce runs one poll-and-apply round.
+func (r *Replica) SyncOnce(ctx context.Context) error {
+	resp, err := postReplicate(ctx, r.client, r.leader, replicateRequest{Epochs: r.idx.Epochs()})
+	if err != nil {
+		return r.noteErr(err)
+	}
+	if resp.NumShards != r.idx.NumShards() {
+		return r.noteErr(fmt.Errorf("%w: leader has %d shards, follower %d",
+			ErrLeaderShape, resp.NumShards, r.idx.NumShards()))
+	}
+	// Lag is measured pre-apply: how far behind this round found us.
+	local := r.idx.Epochs()
+	var lag int64
+	for _, sh := range resp.Shards {
+		if sh.Shard >= 0 && sh.Shard < len(local) && sh.Epoch > local[sh.Shard] {
+			lag += int64(sh.Epoch - local[sh.Shard])
+		}
+	}
+	r.lagEpochs.Store(lag)
+	for _, sh := range resp.Shards {
+		if err := r.applyShard(sh); err != nil {
+			return r.noteErr(err)
+		}
+	}
+	r.syncs.Add(1)
+	r.lastSyncNano.Store(time.Now().UnixNano())
+	return nil
+}
+
+func (r *Replica) applyShard(sh replicateShard) error {
+	if sh.Shard < 0 || sh.Shard >= r.idx.NumShards() {
+		return fmt.Errorf("server: replicate shard %d out of range", sh.Shard)
+	}
+	if sh.Full {
+		rs := make([]*rankings.Ranking, len(sh.Rankings))
+		for j, rj := range sh.Rankings {
+			rk, err := rankings.New(rj.ID, rj.Items)
+			if err != nil {
+				return fmt.Errorf("server: replicate shard %d ranking %d: %w", sh.Shard, rj.ID, err)
+			}
+			rs[j] = rk
+		}
+		if err := r.idx.RestoreShard(sh.Shard, rs, sh.Epoch); err != nil {
+			return fmt.Errorf("server: replicate restore shard %d: %w", sh.Shard, err)
+		}
+		r.fullShardLoads.Add(1)
+		return nil
+	}
+	local := r.idx.Epochs()[sh.Shard]
+	for _, rec := range sh.Records {
+		if rec.Epoch <= local {
+			continue // duplicate of something we already hold
+		}
+		if rec.Epoch != local+1 {
+			return fmt.Errorf("server: replicate shard %d epoch gap: have %d, record %d",
+				sh.Shard, local, rec.Epoch)
+		}
+		switch rec.Op {
+		case "i":
+			rk, err := rankings.New(rec.ID, rec.Items)
+			if err != nil {
+				return fmt.Errorf("server: replicate shard %d record %d: %w", sh.Shard, rec.Epoch, err)
+			}
+			if err := r.idx.ApplyInsert(rk, rec.Epoch); err != nil {
+				return fmt.Errorf("server: replicate shard %d record %d: %w", sh.Shard, rec.Epoch, err)
+			}
+		case "d":
+			if !r.idx.ApplyDelete(rec.ID, rec.Epoch) {
+				return fmt.Errorf("server: replicate shard %d epoch %d deletes absent id %d",
+					sh.Shard, rec.Epoch, rec.ID)
+			}
+		default:
+			return fmt.Errorf("server: replicate shard %d: unknown op %q", sh.Shard, rec.Op)
+		}
+		local = rec.Epoch
+		r.recordsApplied.Add(1)
+	}
+	return nil
+}
+
+func (r *Replica) noteErr(err error) error {
+	r.errs.Add(1)
+	msg := err.Error()
+	r.lastErr.Store(&msg)
+	return err
+}
+
+// Start launches the poll loop.
+func (r *Replica) Start() {
+	r.startOnce.Do(func() {
+		go func() {
+			defer close(r.done)
+			t := time.NewTicker(r.every)
+			defer t.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-t.C:
+					ctx, cancel := context.WithTimeout(context.Background(), r.every*10+time.Second)
+					if err := r.SyncOnce(ctx); err != nil {
+						r.logger.Warn("replica sync failed", "leader", r.leader, "err", err)
+					}
+					cancel()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the poll loop.
+func (r *Replica) Close() {
+	r.Start() // ensure done will be closed
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	<-r.done
+}
+
+// ReplicaStatus is the follower's /statusz and /metrics document.
+type ReplicaStatus struct {
+	Leader         string  `json:"leader"`
+	LagEpochs      int64   `json:"lag_epochs"`
+	Syncs          int64   `json:"syncs"`
+	FullShardLoads int64   `json:"full_shard_loads"`
+	RecordsApplied int64   `json:"records_applied"`
+	Errors         int64   `json:"errors"`
+	LastSyncAgeS   float64 `json:"last_sync_age_s"` // -1 before the first sync
+	LastError      string  `json:"last_error,omitempty"`
+}
+
+// Status snapshots the replica's counters.
+func (r *Replica) Status() ReplicaStatus {
+	st := ReplicaStatus{
+		Leader:         r.leader,
+		LagEpochs:      r.lagEpochs.Load(),
+		Syncs:          r.syncs.Load(),
+		FullShardLoads: r.fullShardLoads.Load(),
+		RecordsApplied: r.recordsApplied.Load(),
+		Errors:         r.errs.Load(),
+		LastSyncAgeS:   -1,
+	}
+	if t := r.lastSyncNano.Load(); t > 0 {
+		st.LastSyncAgeS = time.Since(time.Unix(0, t)).Seconds()
+	}
+	if msg := r.lastErr.Load(); msg != nil {
+		st.LastError = *msg
+	}
+	return st
+}

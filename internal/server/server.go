@@ -53,6 +53,7 @@ import (
 	"rankjoin/internal/ppjoin"
 	"rankjoin/internal/rankings"
 	"rankjoin/internal/shard"
+	"rankjoin/internal/wal"
 )
 
 // Config assembles a Server.
@@ -92,6 +93,16 @@ type Config struct {
 	// /v1/join runs as a distributed SPMD join, and the peer-local
 	// /v1/cluster/* endpoints are registered. Nil serves single-node.
 	Cluster *cluster.Cluster
+	// WAL, when non-nil, is the index's attached write-ahead log
+	// manager: /v1/cluster/replicate serves epoch deltas from its
+	// segments, and /metrics + /statusz export its durability series.
+	// The caller owns its lifecycle (Open/Recover/Attach/Close); the
+	// server only reads from it.
+	WAL *wal.Manager
+	// Replica, when non-nil, puts the server in follower mode: writes
+	// are rejected with 403 (read-only), and the replica's lag and sync
+	// counters are exported. The caller owns its lifecycle.
+	Replica *Replica
 }
 
 // Server is the rankserved request handler. Create with New, mount
@@ -126,6 +137,8 @@ type Server struct {
 	rePivotDur   obs.Histogram // microseconds
 
 	cluster *cluster.Cluster // nil when single-node
+	wal     *wal.Manager     // nil without durability
+	replica *Replica         // nil unless follower
 }
 
 // endpointStats tracks request admission, count and latency for one
@@ -215,6 +228,8 @@ func New(cfg Config) *Server {
 		winInterval: winInterval,
 		ridPrefix:   fmt.Sprintf("%08x-", uint32(now.UnixNano())),
 		cluster:     cfg.Cluster,
+		wal:         cfg.WAL,
+		replica:     cfg.Replica,
 	}
 	s.batch = newBatcher(idx, cfg.MaxBatch)
 	idx.SetRePivotHook(func(e shard.RePivotEvent) {
@@ -245,6 +260,10 @@ func New(cfg Config) *Server {
 		s.route(cluster.PathJoin, http.MethodPost, s.handleClusterJoin)
 		s.route(cluster.PathInfo, http.MethodPost, s.handleClusterInfo)
 	}
+	// The replication endpoint needs no peer ring: a single leader with
+	// a WAL (or even without one — full snapshots still work) can feed
+	// followers, and a follower can chain further followers.
+	s.route(cluster.PathReplicate, http.MethodPost, s.handleReplicate)
 	if winInterval > 0 {
 		s.winStop = make(chan struct{})
 		s.winDone = make(chan struct{})
@@ -327,6 +346,11 @@ func (e *httpError) Error() string { return e.err.Error() }
 
 var errNoSuchTrace = errors.New("no such trace retained")
 
+// errReadOnly rejects writes on a follower replica: its state is a
+// copy of the leader's, so a local mutation would fork the epoch
+// history and be silently overwritten by the next sync.
+var errReadOnly = errors.New("follower is read-only; send writes to the leader")
+
 func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -350,6 +374,8 @@ func statusOf(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, errServerClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errReadOnly):
+		return http.StatusForbidden
 	case errors.Is(err, shard.ErrKMismatch), errors.Is(err, shard.ErrNilRanking):
 		return http.StatusBadRequest
 	default:
@@ -560,6 +586,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(r, &req); err != nil {
 		return finish(w, err)
 	}
+	if s.replica != nil {
+		return finish(w, errReadOnly)
+	}
 	if len(req.Rankings) == 0 {
 		return finish(w, badRequest(errors.New("missing rankings")))
 	}
@@ -597,6 +626,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(r, &req); err != nil {
 		return finish(w, err)
 	}
+	if s.replica != nil {
+		return finish(w, errReadOnly)
+	}
 	if len(req.IDs) == 0 {
 		return finish(w, badRequest(errors.New("missing ids")))
 	}
@@ -608,7 +640,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	}
 	n := 0
 	for _, id := range req.IDs {
-		if s.idx.Delete(id) {
+		ok, err := s.idx.Delete(id)
+		if err != nil {
+			return finish(w, fmt.Errorf("delete %d: %w", id, err))
+		}
+		if ok {
 			n++
 		}
 	}
@@ -701,6 +737,24 @@ type Status struct {
 	LastTrace     TraceStatus               `json:"last_trace"`
 	// Cluster is present only when this server is a cluster peer.
 	Cluster *cluster.Status `json:"cluster,omitempty"`
+	// WAL is present only when a write-ahead log is attached.
+	WAL *WALStatus `json:"wal,omitempty"`
+	// Replica is present only in follower mode.
+	Replica *ReplicaStatus `json:"replica,omitempty"`
+}
+
+// WALStatus summarizes durability for /statusz.
+type WALStatus struct {
+	Records        int64    `json:"records"`
+	AppendedBytes  int64    `json:"appended_bytes"`
+	DurableBytes   int64    `json:"durable_bytes"`
+	Fsyncs         int64    `json:"fsyncs"`
+	FsyncP50us     int64    `json:"fsync_p50_us"`
+	FsyncP99us     int64    `json:"fsync_p99_us"`
+	Snapshots      int64    `json:"snapshots"`
+	SnapshotErrors int64    `json:"snapshot_errors"`
+	SnapshotAgeS   float64  `json:"snapshot_age_s"`
+	SnapshotEpochs []uint64 `json:"snapshot_epochs"`
 }
 
 // CacheStatus summarizes the query cache.
@@ -820,6 +874,25 @@ func (s *Server) Status() Status {
 	if s.cluster != nil {
 		cs := s.cluster.StatusSnapshot()
 		st.Cluster = &cs
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WAL = &WALStatus{
+			Records:        ws.Records,
+			AppendedBytes:  ws.AppendedBytes,
+			DurableBytes:   ws.DurableBytes,
+			Fsyncs:         ws.Fsyncs,
+			FsyncP50us:     ws.FsyncMicros.Quantile(0.50),
+			FsyncP99us:     ws.FsyncMicros.Quantile(0.99),
+			Snapshots:      ws.Snapshots,
+			SnapshotErrors: ws.SnapshotErrors,
+			SnapshotAgeS:   ws.SnapshotAge,
+			SnapshotEpochs: ws.SnapshotEpochs,
+		}
+	}
+	if s.replica != nil {
+		rs := s.replica.Status()
+		st.Replica = &rs
 	}
 	now := time.Now()
 	for path, es := range s.requests {

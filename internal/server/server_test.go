@@ -283,6 +283,26 @@ func TestCacheInvalidation(t *testing.T) {
 	if cached4 || !sameNeighbors(hits4, hits1) {
 		t.Fatalf("hits after delete = %v cached=%v, want fresh %v", hits4, cached4, hits1)
 	}
+
+	// A delete that hits nothing is a pure no-op: no shard epoch moves,
+	// so the warm cache entry must survive. (Before the write-path
+	// sweep, the phantom epoch bump evicted every cached answer for the
+	// id's shard.)
+	if _, cached := searchHits(t, ts.URL, body); !cached {
+		t.Fatal("warm-up query not cached")
+	}
+	code, out := post(t, ts.URL+"/v1/delete", map[string]any{"ids": []int64{999_999}})
+	if code != http.StatusOK {
+		t.Fatalf("miss delete returned %d: %s", code, out["error"])
+	}
+	var deleted int
+	if err := json.Unmarshal(out["deleted"], &deleted); err != nil || deleted != 0 {
+		t.Fatalf("miss delete reported deleted=%d (err %v), want 0", deleted, err)
+	}
+	hits5, cached5 := searchHits(t, ts.URL, body)
+	if !cached5 || !sameNeighbors(hits5, hits1) {
+		t.Fatalf("missed delete evicted the cache: cached=%v hits=%v", cached5, hits5)
+	}
 }
 
 // TestValidationErrors: malformed requests get 4xx, never 5xx.

@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"rankjoin/internal/testutil"
+)
+
+// TestDeleteMissIsPureNoOp pins the durability verdict of a delete that
+// finds nothing: ok=false, no epoch movement, no write-hook record. A
+// miss that bumped the epoch would invalidate query caches for nothing
+// and force every replica through a phantom record.
+func TestDeleteMissIsPureNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := New(Config{Shards: 2})
+	var hookCalls atomic.Int64
+	x.SetWriteHook(func(WriteRecord) func() error {
+		hookCalls.Add(1)
+		return func() error { return nil }
+	})
+	for _, r := range testutil.RandDataset(rng, 20, 5, 60) {
+		if err := x.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logged := hookCalls.Load()
+	before := x.Epochs()
+
+	ok, err := x.Delete(987654) // never inserted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Delete of absent id reported ok")
+	}
+	after := x.Epochs()
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("shard %d epoch moved %d -> %d on a miss", i, before[i], after[i])
+		}
+	}
+	if hookCalls.Load() != logged {
+		t.Fatalf("write hook invoked %d times for a miss", hookCalls.Load()-logged)
+	}
+
+	// A hit, by contrast, moves exactly one shard by exactly one and
+	// logs exactly one record.
+	ok, err = x.Delete(0)
+	if err != nil || !ok {
+		t.Fatalf("Delete(0) = %v, %v; want hit", ok, err)
+	}
+	after = x.Epochs()
+	moved := 0
+	for i := range before {
+		switch after[i] - before[i] {
+		case 0:
+		case 1:
+			moved++
+		default:
+			t.Fatalf("shard %d epoch moved %d -> %d", i, before[i], after[i])
+		}
+	}
+	if moved != 1 {
+		t.Fatalf("%d shards moved on one delete, want 1", moved)
+	}
+	if hookCalls.Load() != logged+1 {
+		t.Fatalf("hook calls = %d, want %d", hookCalls.Load(), logged+1)
+	}
+}

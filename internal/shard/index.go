@@ -31,8 +31,10 @@ type Index struct {
 	filters   obs.FilterCounters
 	pool      sync.Pool // of *Batch, for the copying Search/KNN/SearchBatch wrappers
 
-	// rePivotHook is shared with every shard; SetRePivotHook swaps it.
+	// rePivotHook/writeHook are shared with every shard;
+	// SetRePivotHook/SetWriteHook swap them.
 	rePivotHook atomic.Pointer[RePivotHook]
+	writeHook   atomic.Pointer[WriteHook]
 
 	mu sync.RWMutex
 	k  int // established ranking length; 0 until the first insert
@@ -54,6 +56,7 @@ func New(cfg Config) *Index {
 		x.shards[i] = newShard(cfg.PivotsPerShard, cfg.Seed+int64(i)*7_919)
 		x.shards[i].id = i
 		x.shards[i].hook = &x.rePivotHook
+		x.shards[i].writeHook = &x.writeHook
 		x.spanNames[i] = fmt.Sprintf("shard/%d", i)
 	}
 	x.pool.New = func() any { return x.NewBatch() }
@@ -72,7 +75,14 @@ func splitmix64(x uint64) uint64 {
 }
 
 func (x *Index) shardFor(id int64) *Shard {
-	return x.shards[splitmix64(uint64(id))%uint64(len(x.shards))]
+	return x.shards[x.ShardOf(id)]
+}
+
+// ShardOf returns the shard ordinal that owns id — the routing
+// function, exported so durability and replication layers can address
+// per-shard logs by the same placement.
+func (x *Index) ShardOf(id int64) int {
+	return int(splitmix64(uint64(id)) % uint64(len(x.shards)))
 }
 
 // NumShards returns the shard count.
@@ -114,6 +124,9 @@ func (x *Index) checkQuery(q *rankings.Ranking) error {
 }
 
 // Insert adds r (upsert by id), building its position index if needed.
+// With a write hook installed (SetWriteHook), the error also carries
+// the durability barrier's verdict: non-nil means the write is in
+// memory but not durable and must not be acknowledged.
 func (x *Index) Insert(r *rankings.Ranking) error {
 	if r == nil {
 		return ErrNilRanking
@@ -122,12 +135,67 @@ func (x *Index) Insert(r *rankings.Ranking) error {
 		return err
 	}
 	r.Index()
-	x.shardFor(r.ID).Insert(r)
-	return nil
+	return x.shardFor(r.ID).Insert(r)
 }
 
 // Delete removes the ranking with the given id, reporting presence.
-func (x *Index) Delete(id int64) bool { return x.shardFor(id).Delete(id) }
+// A miss moves no epoch and logs nothing; the error is the durability
+// barrier's verdict, as in Insert.
+func (x *Index) Delete(id int64) (bool, error) { return x.shardFor(id).Delete(id) }
+
+// ApplyInsert replays an already-logged upsert: the target shard's
+// epoch is forced to the record's stamp and the write hook is not
+// invoked. See Shard.ApplyInsert.
+func (x *Index) ApplyInsert(r *rankings.Ranking, epoch uint64) error {
+	if r == nil {
+		return ErrNilRanking
+	}
+	if err := x.ensureK(r.K()); err != nil {
+		return err
+	}
+	r.Index()
+	x.shardFor(r.ID).ApplyInsert(r, epoch)
+	return nil
+}
+
+// ApplyDelete replays an already-logged delete, reporting presence.
+// See Shard.ApplyDelete.
+func (x *Index) ApplyDelete(id int64, epoch uint64) bool {
+	return x.shardFor(id).ApplyDelete(id, epoch)
+}
+
+// RestoreShard atomically replaces shard i's contents with rs at the
+// given epoch — the snapshot-load primitive for recovery and full
+// replica syncs. Every ranking must route to shard i; a misrouted or
+// length-mismatched ranking aborts before anything is touched.
+func (x *Index) RestoreShard(i int, rs []*rankings.Ranking, epoch uint64) error {
+	if i < 0 || i >= len(x.shards) {
+		return fmt.Errorf("shard: restore shard %d out of range [0,%d)", i, len(x.shards))
+	}
+	for _, r := range rs {
+		if r == nil {
+			return ErrNilRanking
+		}
+		if x.ShardOf(r.ID) != i {
+			return fmt.Errorf("shard: restore ranking %d routes to shard %d, not %d",
+				r.ID, x.ShardOf(r.ID), i)
+		}
+	}
+	if len(rs) > 0 {
+		if err := x.ensureK(rs[0].K()); err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if r.K() != rs[0].K() {
+				return fmt.Errorf("%w: restore set mixes k=%d and k=%d",
+					ErrKMismatch, rs[0].K(), r.K())
+			}
+			r.Index()
+		}
+	}
+	x.shards[i].Restore(rs, epoch)
+	return nil
+}
 
 // Get returns the indexed ranking with the given id.
 func (x *Index) Get(id int64) (*rankings.Ranking, bool) { return x.shardFor(id).Get(id) }
@@ -165,9 +233,20 @@ func (x *Index) Epochs() []uint64 {
 }
 
 // Snapshot returns all indexed rankings along with the per-shard
-// epochs they were read at. Each shard's slice is internally
-// epoch-consistent; the index-wide union is the concatenation of one
-// consistent snapshot per shard.
+// epochs they were read at.
+//
+// Consistency contract: each shard's segment of the result is captured
+// together with its epoch under ONE lock hold (Shard.Snapshot), so
+// every (rankings, epoch) pair is internally consistent. Across shards
+// the union is TORN under concurrent churn — shard j's segment may be
+// newer than shard i's — so the index-wide result is not a point-in-
+// time cut and must never be used directly as a recovery or
+// replication cursor. It doesn't need to be: epochs order mutations
+// within a shard only, so a per-shard-consistent dump plus each
+// shard's WAL suffix above its own snapshot epoch reconstructs any
+// later state exactly (internal/wal replays precisely this way, and
+// TestTornSnapshotPlusWALReplay proves it). Callers needing a
+// consistent single shard should use SnapshotShard.
 func (x *Index) Snapshot() ([]*rankings.Ranking, []uint64) {
 	var rs []*rankings.Ranking
 	es := make([]uint64, len(x.shards))
@@ -177,6 +256,13 @@ func (x *Index) Snapshot() ([]*rankings.Ranking, []uint64) {
 		es[i] = e
 	}
 	return rs, es
+}
+
+// SnapshotShard captures shard i's rankings and epoch under one lock
+// hold; a non-nil barrier runs under that same hold (see
+// Shard.SnapshotAnd).
+func (x *Index) SnapshotShard(i int, barrier func()) ([]*rankings.Ranking, uint64) {
+	return x.shards[i].SnapshotAnd(barrier)
 }
 
 // Filters exposes the index's query-pruning counters (Generated =
@@ -194,6 +280,18 @@ func (x *Index) SetRePivotHook(fn RePivotHook) {
 		return
 	}
 	x.rePivotHook.Store(&fn)
+}
+
+// SetWriteHook installs fn as the observer of every Insert/Delete
+// across all shards (nil uninstalls); see WriteHook for the locking
+// and ordering contract. Install it BEFORE accepting writes and after
+// any recovery replay, or the log will miss (or double) records.
+func (x *Index) SetWriteHook(fn WriteHook) {
+	if fn == nil {
+		x.writeHook.Store(nil)
+		return
+	}
+	x.writeHook.Store(&fn)
 }
 
 // Stats returns per-shard statistics in shard order.

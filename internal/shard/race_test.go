@@ -46,7 +46,7 @@ func TestConcurrentMutateAndSearch(t *testing.T) {
 			for i := 0; i < ops; i++ {
 				id := int64(1000*(w+1) + rng.Intn(ops))
 				if _, ok := alive[id]; ok && rng.Intn(2) == 0 {
-					if !x.Delete(id) {
+					if ok, _ := x.Delete(id); !ok {
 						t.Error("delete of owned live id failed")
 						return
 					}

@@ -10,10 +10,15 @@
 // selection literature: pruning only stays effective while the pivots
 // still describe the data.
 //
-// Every mutation bumps the owning shard's epoch. Epochs order nothing
+// Every mutation bumps the owning shard's epoch by exactly one, so the
+// per-shard epoch is a dense cursor over that shard's mutation history:
+// epoch E names the state after the E-th mutation. Epochs order nothing
 // across shards; they exist so snapshots are verifiable (same epoch ⇒
-// same contents) and so query caches can be invalidated per shard
-// without a global generation counter.
+// same contents), so query caches can be invalidated per shard without
+// a global generation counter, and so a write-ahead log or replication
+// stream can address "everything after epoch E" with a contiguity
+// check. Background re-pivots deliberately do NOT move the epoch: a
+// re-pivot changes no result set, and replicas re-pivot independently.
 package shard
 
 import (
@@ -89,6 +94,38 @@ type RePivotEvent struct {
 // next rebuild until the hook returns.
 type RePivotHook func(RePivotEvent)
 
+// Op tags one logged mutation.
+type Op uint8
+
+const (
+	OpInsert Op = 1
+	OpDelete Op = 2
+)
+
+// WriteRecord describes one applied mutation as seen by the write
+// hook: the owning shard, the operation, the epoch the shard reached
+// by applying it, and the subject. Ranking is nil for deletes and
+// shared (immutable) for inserts.
+type WriteRecord struct {
+	Shard   int
+	Op      Op
+	Epoch   uint64
+	ID      int64
+	Ranking *rankings.Ranking
+}
+
+// WriteHook observes every Insert/Delete. It is invoked while the
+// owning shard's write lock is still held, so per shard it sees
+// records in strictly increasing epoch order and must be fast — append
+// to a buffer, never fsync or block. It may return a commit function,
+// which the mutation runs after the lock is released and whose error
+// becomes the mutation's return value: that is where a write-ahead log
+// waits for its group-commit fsync, keeping the durability stall out
+// of the lock while still refusing to acknowledge a write that is not
+// on disk. Replayed mutations (ApplyInsert/ApplyDelete/Restore) bypass
+// the hook — they are already logged elsewhere.
+type WriteHook func(WriteRecord) func() error
+
 // Shard is one RWMutex-guarded partition of the index. All exported
 // methods are safe for concurrent use.
 type Shard struct {
@@ -96,6 +133,7 @@ type Shard struct {
 	seed      int64
 	id        int                          // ordinal within the owning Index
 	hook      *atomic.Pointer[RePivotHook] // owning Index's re-pivot hook; nil standalone
+	writeHook *atomic.Pointer[WriteHook]   // owning Index's write hook; nil standalone
 
 	mu      sync.RWMutex
 	pivots  []*rankings.Ranking
@@ -145,36 +183,71 @@ func pivotRow(r *rankings.Ranking, pivots []*rankings.Ranking) []int32 {
 // Insert adds r to the shard, replacing any previous ranking with the
 // same id (upsert). The caller must have built r's position index
 // (Ranking.Index) before handing it over; Index-level Insert does.
-func (s *Shard) Insert(r *rankings.Ranking) {
+// With a write hook installed, a non-nil error means the mutation is
+// applied in memory but its durability barrier failed — the write must
+// not be acknowledged.
+func (s *Shard) Insert(r *rankings.Ranking) error {
 	sig, pop := r.Signature()
 	s.mu.Lock()
-	e := entry{r: r, pd: pivotRow(r, s.pivots)}
-	if i, ok := s.byID[r.ID]; ok {
-		s.entries[i] = e
-		s.sigs[i] = sig
-		s.pops[i] = uint8(pop)
-	} else {
-		s.byID[r.ID] = len(s.entries)
-		s.entries = append(s.entries, e)
-		s.sigs = append(s.sigs, sig)
-		s.pops = append(s.pops, uint8(pop))
-	}
+	s.upsertLocked(r, sig, uint8(pop))
 	s.churn++
-	s.epoch.Add(1)
+	epoch := s.epoch.Add(1)
+	commit := s.logLocked(WriteRecord{Shard: s.id, Op: OpInsert, Epoch: epoch, ID: r.ID, Ranking: r})
 	due := s.rePivotDueLocked()
 	s.mu.Unlock()
 	if due {
 		s.triggerRePivot()
 	}
+	if commit != nil {
+		return commit()
+	}
+	return nil
+}
+
+// upsertLocked installs r (upsert by id). Caller holds s.mu.
+func (s *Shard) upsertLocked(r *rankings.Ranking, sig rankings.Sig, pop uint8) {
+	e := entry{r: r, pd: pivotRow(r, s.pivots)}
+	if i, ok := s.byID[r.ID]; ok {
+		s.entries[i] = e
+		s.sigs[i] = sig
+		s.pops[i] = pop
+	} else {
+		s.byID[r.ID] = len(s.entries)
+		s.entries = append(s.entries, e)
+		s.sigs = append(s.sigs, sig)
+		s.pops = append(s.pops, pop)
+	}
 }
 
 // Delete removes the ranking with the given id, reporting whether it
-// was present.
-func (s *Shard) Delete(id int64) bool {
+// was present. A miss is a pure no-op: the epoch does not move and no
+// write-hook record is emitted, so epoch-tagged caches stay valid and
+// a WAL never replays a spurious epoch advance. The error (always nil
+// on a miss) carries the durability barrier's verdict, as in Insert.
+func (s *Shard) Delete(id int64) (bool, error) {
 	s.mu.Lock()
+	if !s.removeLocked(id) {
+		s.mu.Unlock()
+		return false, nil
+	}
+	s.churn++
+	epoch := s.epoch.Add(1)
+	commit := s.logLocked(WriteRecord{Shard: s.id, Op: OpDelete, Epoch: epoch, ID: id})
+	due := s.rePivotDueLocked()
+	s.mu.Unlock()
+	if due {
+		s.triggerRePivot()
+	}
+	if commit != nil {
+		return true, commit()
+	}
+	return true, nil
+}
+
+// removeLocked swap-removes id, reporting presence. Caller holds s.mu.
+func (s *Shard) removeLocked(id int64) bool {
 	i, ok := s.byID[id]
 	if !ok {
-		s.mu.Unlock()
 		return false
 	}
 	last := len(s.entries) - 1
@@ -190,14 +263,89 @@ func (s *Shard) Delete(id int64) bool {
 	}
 	s.sigs = s.sigs[:last]
 	s.pops = s.pops[:last]
+	return true
+}
+
+// logLocked hands one mutation record to the write hook, if any.
+// Caller holds s.mu, which is what serializes records into strictly
+// increasing epoch order.
+func (s *Shard) logLocked(rec WriteRecord) func() error {
+	if s.writeHook == nil {
+		return nil
+	}
+	fn := s.writeHook.Load()
+	if fn == nil {
+		return nil
+	}
+	return (*fn)(rec)
+}
+
+// ApplyInsert is Insert for replay: it applies an upsert that was
+// already logged elsewhere (WAL recovery, replication), forces the
+// shard epoch to the record's stamp instead of incrementing, and does
+// not invoke the write hook.
+func (s *Shard) ApplyInsert(r *rankings.Ranking, epoch uint64) {
+	sig, pop := r.Signature()
+	s.mu.Lock()
+	s.upsertLocked(r, sig, uint8(pop))
 	s.churn++
-	s.epoch.Add(1)
+	s.epoch.Store(epoch)
 	due := s.rePivotDueLocked()
 	s.mu.Unlock()
 	if due {
 		s.triggerRePivot()
 	}
-	return true
+}
+
+// ApplyDelete is Delete for replay, with ApplyInsert's contract. The
+// epoch is stamped even when the id is absent — the record asserts the
+// shard reached that epoch — but a miss means the replayed stream and
+// the local state have diverged, so presence is reported for the
+// caller to check.
+func (s *Shard) ApplyDelete(id int64, epoch uint64) bool {
+	s.mu.Lock()
+	ok := s.removeLocked(id)
+	if ok {
+		s.churn++
+	}
+	s.epoch.Store(epoch)
+	due := s.rePivotDueLocked()
+	s.mu.Unlock()
+	if due {
+		s.triggerRePivot()
+	}
+	return ok
+}
+
+// Restore atomically replaces the shard's entire contents with rs at
+// the given epoch — the snapshot-load primitive for recovery and full
+// replica syncs. The pivot table is dropped; a background re-pivot
+// rebuilds it once the shard is large enough. Rankings must already be
+// position-indexed and routed to this shard; Index.RestoreShard checks.
+func (s *Shard) Restore(rs []*rankings.Ranking, epoch uint64) {
+	s.mu.Lock()
+	n := len(rs)
+	s.pivots = nil
+	s.entries = make([]entry, n)
+	s.sigs = make([]rankings.Sig, n)
+	s.pops = make([]uint8, n)
+	s.byID = make(map[int64]int, n)
+	for i, r := range rs {
+		sig, pop := r.Signature()
+		s.entries[i] = entry{r: r}
+		s.sigs[i] = sig
+		s.pops[i] = uint8(pop)
+		s.byID[r.ID] = i
+	}
+	s.churn = 0
+	s.scanned.Store(0)
+	s.pruned.Store(0)
+	s.epoch.Store(epoch)
+	due := s.rePivotDueLocked()
+	s.mu.Unlock()
+	if due {
+		s.triggerRePivot()
+	}
 }
 
 // Get returns the indexed ranking with the given id.
@@ -217,22 +365,41 @@ func (s *Shard) Len() int {
 	return len(s.entries)
 }
 
-// Epoch returns the shard's mutation epoch. It increases on every
-// Insert, Delete and completed re-pivot.
+// Epoch returns the shard's mutation epoch: exactly one increment per
+// applied Insert or effective Delete (misses and re-pivots do not
+// move it), making it a dense per-shard cursor for caches, WAL records
+// and replication.
 func (s *Shard) Epoch() uint64 { return s.epoch.Load() }
 
 // Snapshot returns the indexed rankings together with the epoch they
-// were read at: two snapshots carrying the same epoch hold exactly the
-// same rankings. The returned slice is private to the caller; the
-// rankings themselves are shared and must be treated as immutable.
+// were read at. Both are captured under a single lock hold, so the
+// pair is always mutually consistent: two snapshots carrying the same
+// epoch hold exactly the same rankings. The returned slice is private
+// to the caller; the rankings themselves are shared and must be
+// treated as immutable.
 func (s *Shard) Snapshot() ([]*rankings.Ranking, uint64) {
+	return s.SnapshotAnd(nil)
+}
+
+// SnapshotAnd is Snapshot with a barrier: a non-nil fn runs under the
+// same read-lock hold that captured the rankings and epoch, after the
+// capture. Because every mutation takes the write lock, anything fn
+// does is ordered exactly at the snapshot's epoch — the WAL manager
+// rotates the shard's log segment here, so the segment boundary
+// coincides with the snapshot cut and every record in earlier segments
+// has epoch ≤ the snapshot epoch.
+func (s *Shard) SnapshotAnd(fn func()) ([]*rankings.Ranking, uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	rs := make([]*rankings.Ranking, len(s.entries))
 	for i := range s.entries {
 		rs[i] = s.entries[i].r
 	}
-	return rs, s.epoch.Load()
+	e := s.epoch.Load()
+	if fn != nil {
+		fn()
+	}
+	return rs, e
 }
 
 // Stats is a point-in-time description of one shard for /statusz.
@@ -356,9 +523,10 @@ func (s *Shard) rePivot() {
 	s.scanned.Store(0)
 	s.pruned.Store(0)
 	s.rePivots.Add(1)
-	// A re-pivot changes no result set, but bumping the epoch keeps the
-	// invariant simple: equal epochs always mean byte-identical state.
-	s.epoch.Add(1)
+	// A re-pivot deliberately does NOT bump the epoch: it changes no
+	// result set (equal epochs ⇒ equal contents still holds), and the
+	// epoch must stay a dense one-per-mutation cursor so WAL replay and
+	// replicas — which re-pivot on their own schedule — never drift.
 	s.mu.Unlock()
 
 	if s.hook != nil {

@@ -119,8 +119,11 @@ func TestInsertDeleteUpsert(t *testing.T) {
 	if got, _ := x.Get(1); got != a2 {
 		t.Fatal("upsert did not replace ranking 1")
 	}
-	if !x.Delete(2) || x.Delete(2) {
-		t.Fatal("Delete(2) should succeed exactly once")
+	if ok, _ := x.Delete(2); !ok {
+		t.Fatal("Delete(2) should succeed")
+	}
+	if ok, _ := x.Delete(2); ok {
+		t.Fatal("second Delete(2) should miss")
 	}
 	if x.Len() != 1 {
 		t.Fatalf("Len after delete = %d, want 1", x.Len())
@@ -232,7 +235,9 @@ func TestSnapshotEpochConsistency(t *testing.T) {
 	if len(rs1) != len(rs2) || rs1[0] != rs2[0] {
 		t.Fatal("identical epochs but different snapshots")
 	}
-	x.Delete(1)
+	if _, err := x.Delete(1); err != nil {
+		t.Fatal(err)
+	}
 	_, es3 := x.Snapshot()
 	moved := false
 	for i := range es3 {

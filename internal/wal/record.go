@@ -1,0 +1,173 @@
+// Package wal gives the sharded dynamic index a durability and
+// replication substrate: one write-ahead log per shard (length-
+// prefixed, CRC-framed insert/delete records stamped with the shard
+// epoch, group-commit fsync), periodic epoch snapshots written with
+// atomic renames, crash-recovery replay on boot (newest valid
+// snapshot, then every WAL record above its epoch, torn tails
+// truncated), and the record/segment plumbing the replication endpoint
+// ships to read-only followers.
+//
+// The shard epoch is the only cursor: it advances by exactly one per
+// acknowledged mutation (see internal/shard), so "replay everything
+// after epoch E" is a contiguity check, and a snapshot named by its
+// capture epoch composes with any WAL suffix above that epoch.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"rankjoin/internal/rankings"
+)
+
+// ErrCorrupt reports a structurally invalid WAL record or snapshot: a
+// CRC mismatch, an impossible length, or an unknown op. During replay
+// a corrupt record is a crash artifact — the log is truncated there —
+// so ErrCorrupt surfaces only from explicit decode entry points.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// ErrTorn reports a record cut short by the end of its segment — the
+// expected shape of the final record after a crash mid-write.
+var ErrTorn = errors.New("wal: torn record")
+
+// Op tags one logged mutation; values mirror internal/shard.
+type Op uint8
+
+const (
+	OpInsert Op = 1
+	OpDelete Op = 2
+)
+
+// Record is one durable mutation: the epoch the owning shard reached
+// by applying it, and the subject. Items is nil for deletes.
+type Record struct {
+	Op    Op
+	Epoch uint64
+	ID    int64
+	Items []rankings.Item
+}
+
+// Ranking materializes an insert record's subject, validating it the
+// same way the public API does.
+func (rec *Record) Ranking() (*rankings.Ranking, error) {
+	r, err := rankings.New(rec.ID, rec.Items)
+	if err != nil {
+		return nil, fmt.Errorf("%w: record epoch %d: %v", ErrCorrupt, rec.Epoch, err)
+	}
+	return r, nil
+}
+
+// Frame layout, repeated back to back within a segment file:
+//
+//	uvarint  payload length
+//	payload  op (byte) | epoch (uvarint) | id (varint)
+//	         | inserts only: item count (uvarint), items (varints)
+//	uint32   CRC-32C of the payload, little-endian
+//
+// The length prefix is outside the CRC; a corrupted length either
+// lands the CRC check on garbage (fails) or runs past the segment end
+// (torn). Both read as end-of-valid-log, which is the only recovery
+// action a tail corruption needs.
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord appends rec's frame to buf.
+func appendRecord(buf []byte, rec Record) []byte {
+	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+(len(rec.Items)+1)*binary.MaxVarintLen32)
+	payload = append(payload, byte(rec.Op))
+	payload = binary.AppendUvarint(payload, rec.Epoch)
+	payload = binary.AppendVarint(payload, rec.ID)
+	if rec.Op == OpInsert {
+		payload = binary.AppendUvarint(payload, uint64(len(rec.Items)))
+		for _, it := range rec.Items {
+			payload = binary.AppendVarint(payload, int64(it))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+}
+
+// decodeRecord decodes one frame from the head of data, returning the
+// record and the frame's size. ErrTorn means data ends mid-frame;
+// ErrCorrupt means the frame is complete but invalid.
+func decodeRecord(data []byte) (Record, int, error) {
+	plen, n := binary.Uvarint(data)
+	if n <= 0 {
+		if len(data) >= binary.MaxVarintLen64 {
+			return Record{}, 0, fmt.Errorf("%w: bad length prefix", ErrCorrupt)
+		}
+		return Record{}, 0, ErrTorn
+	}
+	const maxPayload = 1 << 24 // no sane record approaches 16 MiB
+	if plen > maxPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, plen)
+	}
+	frame := n + int(plen) + crcSize
+	if len(data) < frame {
+		return Record{}, 0, ErrTorn
+	}
+	payload := data[n : n+int(plen)]
+	want := binary.LittleEndian.Uint32(data[n+int(plen):])
+	if crc32.Checksum(payload, crcTable) != want {
+		return Record{}, 0, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, frame, nil
+}
+
+const crcSize = 4
+
+func decodePayload(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	rec := Record{Op: Op(payload[0])}
+	rest := payload[1:]
+	epoch, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return Record{}, fmt.Errorf("%w: bad epoch", ErrCorrupt)
+	}
+	rest = rest[n:]
+	id, n := binary.Varint(rest)
+	if n <= 0 {
+		return Record{}, fmt.Errorf("%w: bad id", ErrCorrupt)
+	}
+	rest = rest[n:]
+	rec.Epoch, rec.ID = epoch, id
+	switch rec.Op {
+	case OpDelete:
+		if len(rest) != 0 {
+			return Record{}, fmt.Errorf("%w: %d trailing bytes in delete", ErrCorrupt, len(rest))
+		}
+	case OpInsert:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("%w: bad item count", ErrCorrupt)
+		}
+		rest = rest[n:]
+		if count > uint64(len(rest)) { // every item takes ≥ 1 byte
+			return Record{}, fmt.Errorf("%w: item count %d exceeds payload", ErrCorrupt, count)
+		}
+		rec.Items = make([]rankings.Item, count)
+		for i := range rec.Items {
+			v, n := binary.Varint(rest)
+			if n <= 0 {
+				return Record{}, fmt.Errorf("%w: bad item %d", ErrCorrupt, i)
+			}
+			rec.Items[i] = rankings.Item(v)
+			rest = rest[n:]
+		}
+		if len(rest) != 0 {
+			return Record{}, fmt.Errorf("%w: %d trailing bytes in insert", ErrCorrupt, len(rest))
+		}
+	default:
+		return Record{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, rec.Op)
+	}
+	return rec, nil
+}

@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rankjoin/internal/rankings"
+)
+
+// Snapshot file format (one file per shard per capture, named
+// snap-<epoch:016x>.snap):
+//
+//	"RKS1"    magic
+//	uvarint   shard ordinal
+//	uvarint   capture epoch
+//	uvarint   ranking count
+//	repeated  uvarint blob length, Ranking gob blob (rankings/wire.go)
+//	uint32    CRC-32C of everything above, little-endian
+//
+// A snapshot becomes visible only via rename(2) of a fully fsynced
+// temp file, so a crash mid-write leaves at most a *.tmp straggler and
+// the previous snapshot intact; the trailing CRC catches torn or
+// bit-rotted files at load, which fall back to the next-older capture.
+
+const (
+	snapMagic  = "RKS1"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func snapName(epoch uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, epoch, snapSuffix) }
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	var e uint64
+	if _, err := fmt.Sscanf(name, snapPrefix+"%016x"+snapSuffix, &e); err != nil {
+		return 0, false
+	}
+	return e, true
+}
+
+// encodeSnapshot frames one shard dump.
+func encodeSnapshot(shard int, epoch uint64, rs []*rankings.Ranking) ([]byte, error) {
+	buf := append([]byte(nil), snapMagic...)
+	buf = binary.AppendUvarint(buf, uint64(shard))
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(rs)))
+	for _, r := range rs {
+		blob, err := r.GobEncode()
+		if err != nil {
+			return nil, fmt.Errorf("wal: encode snapshot ranking %d: %w", r.ID, err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable)), nil
+}
+
+// decodeSnapshot parses and CRC-verifies one shard dump.
+func decodeSnapshot(data []byte) (shard int, epoch uint64, rs []*rankings.Ranking, err error) {
+	if len(data) < len(snapMagic)+crcSize {
+		return 0, 0, nil, fmt.Errorf("%w: snapshot too short", ErrCorrupt)
+	}
+	body, tail := data[:len(data)-crcSize], data[len(data)-crcSize:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return 0, 0, nil, fmt.Errorf("%w: snapshot crc mismatch", ErrCorrupt)
+	}
+	if string(body[:len(snapMagic)]) != snapMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	rest := body[len(snapMagic):]
+	u := func(what string) uint64 {
+		if err != nil {
+			return 0
+		}
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			err = fmt.Errorf("%w: bad snapshot %s", ErrCorrupt, what)
+			return 0
+		}
+		rest = rest[n:]
+		return v
+	}
+	sh := u("shard")
+	epoch = u("epoch")
+	count := u("count")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	rs = make([]*rankings.Ranking, 0, count)
+	for i := uint64(0); i < count; i++ {
+		blen := u("blob length")
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if blen > uint64(len(rest)) {
+			return 0, 0, nil, fmt.Errorf("%w: snapshot blob %d truncated", ErrCorrupt, i)
+		}
+		var r rankings.Ranking
+		if derr := r.GobDecode(rest[:blen]); derr != nil {
+			return 0, 0, nil, fmt.Errorf("%w: snapshot blob %d: %v", ErrCorrupt, i, derr)
+		}
+		rest = rest[blen:]
+		rs = append(rs, &r)
+	}
+	if len(rest) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(rest))
+	}
+	return int(sh), epoch, rs, nil
+}
+
+// writeSnapshot durably publishes a shard dump into dir: temp file,
+// fsync, rename, fsync dir.
+func writeSnapshot(dir string, shard int, epoch uint64, rs []*rankings.Ranking) error {
+	data, err := encodeSnapshot(shard, epoch, rs)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, snapPrefix+"*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: snapshot fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapName(epoch))); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// listSnapshots returns the capture epochs present in dir, ascending.
+func listSnapshots(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: list snapshots: %w", err)
+	}
+	var es []uint64
+	for _, e := range ents {
+		if ep, ok := parseSnapName(e.Name()); ok {
+			es = append(es, ep)
+		}
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+	return es, nil
+}
+
+// loadNewestSnapshot reads the highest-epoch valid snapshot in dir,
+// falling back across corrupt captures. ok=false means no usable
+// snapshot exists (an empty shard starts at epoch 0). invalid reports
+// how many captures failed their CRC or structure checks.
+func loadNewestSnapshot(dir string, wantShard int) (rs []*rankings.Ranking, epoch uint64, ok bool, invalid int, err error) {
+	es, err := listSnapshots(dir)
+	if err != nil {
+		return nil, 0, false, 0, err
+	}
+	for i := len(es) - 1; i >= 0; i-- {
+		data, rerr := os.ReadFile(filepath.Join(dir, snapName(es[i])))
+		if rerr != nil {
+			return nil, 0, false, invalid, fmt.Errorf("wal: read snapshot: %w", rerr)
+		}
+		sh, epoch, rs, derr := decodeSnapshot(data)
+		if derr != nil || sh != wantShard || epoch != es[i] {
+			invalid++
+			continue
+		}
+		return rs, epoch, true, invalid, nil
+	}
+	return nil, 0, false, invalid, nil
+}
+
+// dropSnapshotsBefore deletes captures older than keep.
+func dropSnapshotsBefore(dir string, keep uint64) error {
+	es, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range es {
+		if e >= keep {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, snapName(e))); err != nil {
+			return fmt.Errorf("wal: drop snapshot: %w", err)
+		}
+	}
+	return nil
+}

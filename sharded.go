@@ -49,8 +49,10 @@ func NewShardedIndex(cfg ShardedIndexConfig) *ShardedIndex {
 func (x *ShardedIndex) Insert(r *Ranking) error { return x.idx.Insert(r) }
 
 // Delete removes the ranking with the given id, reporting whether it
-// was present.
-func (x *ShardedIndex) Delete(id int64) bool { return x.idx.Delete(id) }
+// was present. The error carries the durability barrier's verdict when
+// a write-ahead log is attached to the index; without one it is always
+// nil.
+func (x *ShardedIndex) Delete(id int64) (bool, error) { return x.idx.Delete(id) }
 
 // Len returns the number of indexed rankings.
 func (x *ShardedIndex) Len() int { return x.idx.Len() }

@@ -85,8 +85,8 @@ func TestShardedIndexDynamic(t *testing.T) {
 	}
 	// Deleting the nearest neighbor removes it from the results.
 	nearest := nn[0].ID
-	if !x.Delete(nearest) {
-		t.Fatalf("Delete(%d) = false", nearest)
+	if ok, err := x.Delete(nearest); err != nil || !ok {
+		t.Fatalf("Delete(%d) = %v, %v", nearest, ok, err)
 	}
 	nn2, err := x.KNN(rs[0], 5)
 	if err != nil {
