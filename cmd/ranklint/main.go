@@ -2,13 +2,18 @@
 // enforce rankjoin's runtime invariants at compile time: span
 // lifecycle (spanend), filter-counter conservation (ledgertally),
 // shard mutex discipline (lockcopy, lockorder), map-iteration
-// determinism (maporder) and the sentinel-error wrapping contract
-// (wraperr). See DESIGN.md §10.
+// determinism (maporder), the sentinel-error wrapping contract
+// (wraperr), and — through the cross-function call graph — the
+// write-path hedging ban (nohedge), the WAL two-phase commit contract
+// (walack), context threading (ctxflow), atomic-field access
+// discipline (atomicmix), the zero-allocation serving contract
+// (allocfree) and metric-registry hygiene (metricreg). See DESIGN.md
+// §10.
 //
 // Standalone usage (the CI gate):
 //
 //	go run ./cmd/ranklint ./...          # text findings, exit 1 if any
-//	go run ./cmd/ranklint -json ./...    # machine-readable diagnostics
+//	go run ./cmd/ranklint -json ./...    # {findings, suppressed} envelope
 //	go run ./cmd/ranklint -run spanend,wraperr ./internal/...
 //	go run ./cmd/ranklint -list          # list analyzers
 //
@@ -70,7 +75,7 @@ func run() int {
 	}
 
 	fs := flag.NewFlagSet("ranklint", flag.ExitOnError)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {path,line,col,analyzer,message}")
+	jsonOut := fs.Bool("json", false, "emit a JSON envelope: findings ({path,line,col,analyzer,message}) plus per-analyzer suppression counts")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	fs.Usage = func() {
@@ -90,21 +95,10 @@ func run() int {
 		return 0
 	}
 
-	selected := all
-	if *runNames != "" {
-		byName := make(map[string]*analysis.Analyzer)
-		for _, a := range all {
-			byName[a.Name] = a
-		}
-		selected = nil
-		for _, name := range strings.Split(*runNames, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "ranklint: unknown analyzer %q (use -list)\n", name)
-				return 1
-			}
-			selected = append(selected, a)
-		}
+	selected, err := selectAnalyzers(all, *runNames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
 
 	patterns := fs.Args()
@@ -116,7 +110,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	findings, err := analysis.Run(pkgs, selected)
+	res, err := analysis.RunAll(pkgs, selected)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -125,25 +119,48 @@ func run() int {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []analysis.Finding{}
+		if res.Findings == nil {
+			res.Findings = []analysis.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(res); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 	} else {
-		for _, f := range findings {
+		for _, f := range res.Findings {
 			fmt.Println(f.String())
 		}
 	}
-	if len(findings) > 0 {
+	if len(res.Findings) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "ranklint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+			fmt.Fprintf(os.Stderr, "ranklint: %d finding(s) in %d package(s)\n", len(res.Findings), len(pkgs))
 		}
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers resolves a -run flag value against the registry.
+// Names must match exactly (no prefixes, no globs); an empty value
+// selects every analyzer. Duplicate names run once per occurrence, in
+// the order given, like go vet's -run.
+func selectAnalyzers(all []*analysis.Analyzer, runNames string) ([]*analysis.Analyzer, error) {
+	if runNames == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var selected []*analysis.Analyzer
+	for _, name := range strings.Split(runNames, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("ranklint: unknown analyzer %q (use -list)", name)
+		}
+		selected = append(selected, a)
+	}
+	return selected, nil
 }
 
 func executableHash() string {

@@ -1,0 +1,340 @@
+// Package allocfree defines the ranklint analyzer enforcing the
+// //ranklint:allocfree annotation: a function so marked is part of the
+// zero-allocation serving contract (pinned at runtime by
+// testing.AllocsPerRun in the shard and server suites), and its body
+// must not contain constructs that allocate per call.
+//
+// Flagged inside an annotated body:
+//
+//   - map and slice composite literals, make(map/chan), new(T);
+//   - function literals (closure allocation);
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions;
+//   - conversions of concrete values to interface types, including
+//     implicit boxing at call arguments;
+//   - variadic calls that pass variadic arguments without an explicit
+//     ...-spread (the callee's argument slice is allocated per call);
+//   - go statements, except `go f()` on a pre-bound argument-free func
+//     value (the arena fan-out idiom; the g itself is pool-reused);
+//   - dynamic calls through function values or interface methods, which
+//     cannot be verified statically;
+//   - calls to functions that are neither //ranklint:allocfree
+//     themselves nor in the allowlist (sync, sync/atomic, math,
+//     math/bits, slices) nor allocation-free builtins.
+//
+// Deliberately allowed: make([]T, n) and append — the serving path
+// uses amortized high-water arenas that grow to a steady state and are
+// then reused, which AllocsPerRun already pins at zero in steady state.
+// Boxing of pointer-shaped values (pointers, channels, maps, funcs)
+// into interfaces is also allowed: they are stored directly in the
+// interface data word without allocating. A handful of individual
+// stdlib functions known not to allocate (errors.Is/As, the
+// time.Duration accessors) are allowlisted by name because their
+// packages cannot be allowlisted wholesale.
+// Calls into same-module packages that are not loaded in the current
+// run (vet unit-checker mode) are skipped rather than flagged; the
+// repo-wide ./... run sees their bodies and enforces the annotation
+// transitively.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rankjoin/internal/analysis"
+)
+
+// Analyzer is the allocfree pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "check that //ranklint:allocfree functions contain no per-call allocation constructs",
+	Run:  run,
+}
+
+// allowPkgs are packages whose exported functions are allocation-free
+// for the shapes used on the serving path.
+var allowPkgs = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+	"math":        true,
+	"math/bits":   true,
+	"slices":      true,
+}
+
+// allowFuncs are individual stdlib functions known not to allocate even
+// though their packages cannot be blanket-allowlisted (their siblings —
+// errors.New, time.Time.Format — allocate freely). Keyed by the
+// types.Func full name.
+var allowFuncs = map[string]bool{
+	"errors.Is":                    true,
+	"errors.As":                    true,
+	"(time.Duration).Microseconds": true,
+	"(time.Duration).Milliseconds": true,
+	"(time.Duration).Seconds":      true,
+}
+
+// allowBuiltins never allocate (make and new are handled separately).
+var allowBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true,
+	"append": true, "min": true, "max": true, "clear": true,
+	"panic": true, "print": true, "println": true, "recover": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	g := pass.Graph
+	for _, n := range g.Decls() {
+		if n.Pkg.Types != pass.Pkg || !n.Directive("allocfree") || !n.HasBody() {
+			continue
+		}
+		checkBody(pass, g, n)
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, g *analysis.CallGraph, n *analysis.FuncNode) {
+	resultIfaces := interfaceResults(n.Obj)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(node.Pos(), "%s is //ranklint:allocfree but builds a function literal, which allocates a closure", n.ShortName())
+			return false
+		case *ast.CompositeLit:
+			switch pass.TypeOf(node).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(node.Pos(), "%s is //ranklint:allocfree but a map literal allocates", n.ShortName())
+			case *types.Slice:
+				pass.Reportf(node.Pos(), "%s is //ranklint:allocfree but a slice literal allocates", n.ShortName())
+			}
+		case *ast.GoStmt:
+			// `go f()` on a pre-bound func value carries no arguments
+			// and builds no closure — the g itself is pool-reused, which
+			// is the arena fan-out idiom (see shard.Batch.funcs). Any
+			// other form captures or copies per spawn.
+			if _, bare := ast.Unparen(node.Call.Fun).(*ast.Ident); bare && len(node.Call.Args) == 0 {
+				return false // the spawned call is the func value itself; nothing beneath to check
+			}
+			pass.Reportf(node.Pos(), "%s is //ranklint:allocfree but spawns a goroutine with arguments or a bound method, which allocates per call", n.ShortName())
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isNonConstantString(pass, node) {
+				pass.Reportf(node.Pos(), "%s is //ranklint:allocfree but concatenates strings, which allocates", n.ShortName())
+				return false // don't re-report each operand of a chain
+			}
+		case *ast.CallExpr:
+			checkCall(pass, g, n, node)
+		case *ast.ReturnStmt:
+			for i, res := range node.Results {
+				if i < len(resultIfaces) && resultIfaces[i] && boxes(pass, res) {
+					pass.Reportf(res.Pos(), "%s is //ranklint:allocfree but returning a concrete value as an interface allocates", n.ShortName())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call inside an annotated body.
+func checkCall(pass *analysis.Pass, g *analysis.CallGraph, n *analysis.FuncNode, call *ast.CallExpr) {
+	// Conversions parse as calls: T(x).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, n, call, tv.Type)
+		return
+	}
+	sig, _ := pass.TypeOf(call.Fun).(*types.Signature)
+
+	switch callee := calleeObject(pass, call).(type) {
+	case *types.Builtin:
+		switch callee.Name() {
+		case "make":
+			switch pass.TypeOf(call).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but make(map) allocates", n.ShortName())
+			case *types.Chan:
+				pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but make(chan) allocates", n.ShortName())
+			}
+			return
+		case "new":
+			pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but new(T) allocates", n.ShortName())
+			return
+		default:
+			if !allowBuiltins[callee.Name()] {
+				pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but calls builtin %s, which may allocate", n.ShortName(), callee.Name())
+			}
+			return
+		}
+	case *types.Func:
+		if recv := callee.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but calls interface method %s, which cannot be verified allocation-free", n.ShortName(), callee.Name())
+			return
+		}
+		if pkg := callee.Pkg(); pkg != nil && !allowPkgs[pkg.Path()] && !allowFuncs[analysis.FuncName(callee)] {
+			cn := g.Node(analysis.FuncName(callee))
+			switch {
+			case cn != nil && cn.Directive("allocfree"):
+				// Verified transitively.
+			case cn != nil && cn.HasBody():
+				pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but calls %s, which is not marked //ranklint:allocfree", n.ShortName(), cn.ShortName())
+			case sameModule(pkg.Path(), pass.Pkg.Path()):
+				// Body not loaded in this (package-scoped) run; the
+				// repo-wide run enforces it.
+			default:
+				pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but calls %s.%s, which is outside the allocation-free allowlist", n.ShortName(), pkg.Name(), callee.Name())
+			}
+		}
+	default:
+		pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but makes a dynamic call, which cannot be verified allocation-free", n.ShortName())
+		return
+	}
+
+	// Variadic argument slices are allocated per call.
+	if sig != nil && sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len() {
+		pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but this variadic call allocates its argument slice", n.ShortName())
+	}
+
+	// Implicit boxing of concrete arguments into interface parameters.
+	if sig != nil {
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= sig.Params().Len()-1:
+				if !call.Ellipsis.IsValid() {
+					pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+				}
+			case i < sig.Params().Len():
+				pt = sig.Params().At(i).Type()
+			}
+			if pt != nil && types.IsInterface(pt) && boxes(pass, arg) {
+				pass.Reportf(arg.Pos(), "%s is //ranklint:allocfree but passing a concrete value as %s allocates", n.ShortName(), typeShort(pt))
+			}
+		}
+	}
+}
+
+// checkConversion flags allocating conversions: to interfaces and
+// between string and byte/rune slices.
+func checkConversion(pass *analysis.Pass, n *analysis.FuncNode, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	if types.IsInterface(target.Underlying()) {
+		if boxes(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but converting to interface %s allocates", n.ShortName(), typeShort(target))
+		}
+		return
+	}
+	src := pass.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if isStringByteConv(target, src) || isStringByteConv(src, target) {
+		pass.Reportf(call.Pos(), "%s is //ranklint:allocfree but a string<->[]byte conversion copies and allocates", n.ShortName())
+	}
+}
+
+// boxes reports whether assigning expr to an interface would allocate:
+// the expression has a concrete (non-interface, non-nil) type.
+func boxes(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	// Pointer-shaped values (pointers, channels, maps, funcs) are stored
+	// directly in the interface data word — no allocation.
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// calleeObject resolves the called object for f(...), x.f(...),
+// f[T](...); nil for calls through plain function values.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.IndexExpr:
+		return calleeIdent(pass, fun.X)
+	case *ast.IndexListExpr:
+		return calleeIdent(pass, fun.X)
+	default:
+		return calleeIdent(pass, fun)
+	}
+}
+
+func calleeIdent(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		switch obj.(type) {
+		case *types.Builtin, *types.Func:
+			return obj
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[e.Sel].(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	return nil
+}
+
+func isNonConstantString(pass *analysis.Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringByteConv(a, b types.Type) bool {
+	ab, ok := a.Underlying().(*types.Basic)
+	if !ok || ab.Info()&types.IsString == 0 {
+		return false
+	}
+	sl, ok := b.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	el, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (el.Kind() == types.Byte || el.Kind() == types.Rune ||
+		el.Kind() == types.Uint8 || el.Kind() == types.Int32)
+}
+
+// interfaceResults marks which results of fn have interface type.
+func interfaceResults(fn *types.Func) []bool {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	out := make([]bool, sig.Results().Len())
+	for i := range out {
+		out[i] = types.IsInterface(sig.Results().At(i).Type())
+	}
+	return out
+}
+
+func sameModule(a, b string) bool { return firstSeg(a) == firstSeg(b) }
+
+func firstSeg(p string) string {
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+func typeShort(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/analysis/analysistest"
+	"rankjoin/internal/analysis/passes/allocfree"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "a")
+}

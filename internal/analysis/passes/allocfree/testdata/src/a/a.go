@@ -1,0 +1,96 @@
+// Package a exercises the allocfree analyzer: allocation constructs
+// inside annotated functions, the allowed arena idioms, transitive
+// annotation, and a reasoned suppression.
+package a
+
+import (
+	"fmt"
+	"sync"
+)
+
+type sweeper struct {
+	mu    sync.Mutex
+	arena []int
+	name  string
+}
+
+// sink is an annotated leaf that accepts pre-boxed values.
+//
+//ranklint:allocfree
+func sink(v any) {}
+
+// vsum is an annotated variadic leaf.
+//
+//ranklint:allocfree
+func vsum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// helper is NOT annotated.
+func helper(n int) int { return n * 2 }
+
+// sweep is the clean shape: arena growth via make/append, sync calls,
+// transitive calls to annotated leaves, explicit variadic spread.
+//
+//ranklint:allocfree
+func (s *sweeper) sweep(xs []int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cap(s.arena) < len(xs) {
+		s.arena = make([]int, 0, len(xs)*2)
+	}
+	s.arena = s.arena[:0]
+	s.arena = append(s.arena, xs...)
+	return vsum(s.arena...)
+}
+
+// sweepBad piles up the forbidden constructs.
+//
+//ranklint:allocfree
+func (s *sweeper) sweepBad(xs []int, f func() int) int {
+	seen := map[int]bool{} // want `map literal allocates`
+	pairs := []int{1, 2}   // want `slice literal allocates`
+	ch := make(chan int)   // want `make\(chan\) allocates`
+	p := new(int)          // want `new\(T\) allocates`
+	cb := func() int {     // want `builds a function literal`
+		return 0
+	}
+	s.name = s.name + "!"  // want `concatenates strings`
+	go s.sweep(xs)         // want `spawns a goroutine`
+	_ = helper(1)          // want `calls a\.helper, which is not marked //ranklint:allocfree`
+	_ = fmt.Sprint(len(xs)) // want `calls fmt\.Sprint, which is outside the allocation-free allowlist` `variadic call allocates its argument slice` `passing a concrete value as any allocates`
+	_ = f()                // want `makes a dynamic call`
+	_ = vsum(1, 2, 3)      // want `variadic call allocates its argument slice`
+	sink(42)               // want `passing a concrete value as any allocates`
+	_ = []byte(s.name)     // want `string<->\[\]byte conversion copies and allocates`
+	_ = seen[0]
+	_ = pairs
+	_ = ch
+	_ = p
+	return cb() // want `makes a dynamic call`
+}
+
+// boxedReturn returns a concrete value through an interface result.
+//
+//ranklint:allocfree
+func (s *sweeper) boxedReturn() any {
+	return s.arena[0] // want `returning a concrete value as an interface allocates`
+}
+
+// coldPath documents a reviewed exception on its one allocating line.
+//
+//ranklint:allocfree
+func (s *sweeper) coldPath(err error) {
+	if err != nil {
+		_ = fmt.Sprint(err) //ranklint:ignore error formatting is off the hot path and gated on failure
+	}
+}
+
+// unannotated may allocate freely.
+func unannotated() []int {
+	return []int{1, 2, 3}
+}

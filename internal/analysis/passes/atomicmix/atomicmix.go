@@ -1,0 +1,244 @@
+// Package atomicmix defines the ranklint analyzer catching mixed
+// atomic/plain access to struct fields.
+//
+// A field that any code touches through sync/atomic — either the
+// function style (atomic.AddInt64(&s.n, 1)) or the typed style
+// (s.n.Load() on an atomic.Int64) — must be accessed that way
+// everywhere. A single plain read or write next to atomic accesses is
+// a data race the race detector only catches when the interleaving
+// actually happens under -race; this analyzer catches it statically:
+//
+//   - a field passed by address to a sync/atomic function in one place
+//     and read or written plainly in another is reported at each plain
+//     use (plain writes in constructors — New*, new*, init, main —
+//     are exempt: pre-publication initialization is not yet shared);
+//
+//   - a field whose type is one of the sync/atomic value types
+//     (atomic.Int64, atomic.Bool, atomic.Pointer[T], ...) must only
+//     ever appear as the receiver of its own methods or as the operand
+//     of & (sharing the cell by address is the sanctioned multi-owner
+//     idiom — see shard.Index handing &x.writeHook to every shard);
+//     copying or assigning it is reported unconditionally, since the
+//     typed API exists precisely to make plain access impossible to
+//     write by accident. A *atomic.Pointer[T] field is itself a plain
+//     pointer: nil-checking it is not atomic access and is not
+//     reported.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rankjoin/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "check that fields accessed through sync/atomic are never also read or written plainly",
+	Run:  run,
+}
+
+// use is one classified access to a struct field.
+type use struct {
+	pos      token.Pos
+	enclosed string // name of the enclosing function declaration, "" at package level
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	atomicUses := make(map[*types.Var][]use)
+	plainUses := make(map[*types.Var][]use)
+	consumed := make(map[token.Pos]bool) // selector positions already counted as atomic
+
+	for _, file := range pass.Files {
+		decls := declRanges(file)
+
+		// Pass A: find atomic-style accesses and mark their selectors.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Function style: atomic.AddInt64(&s.f, 1).
+			if isAtomicPkgCall(pass, call) {
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if f, sel := fieldSelector(pass, un.X); f != nil {
+						atomicUses[f] = append(atomicUses[f], use{pos: sel.Pos(), enclosed: enclosingDecl(decls, sel.Pos())})
+						consumed[sel.Pos()] = true
+					}
+				}
+				return true
+			}
+			// Typed style: s.f.Load() where f is an atomic.* value. A
+			// method call through a *atomic.Pointer[T] field consumes
+			// the selector but says nothing about the pointer field
+			// itself, which is a plain pointer.
+			m, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isAtomicMethod(pass, m.Sel) {
+				return true
+			}
+			if f, sel := fieldSelector(pass, m.X); f != nil {
+				if isAtomicValueType(f.Type()) {
+					atomicUses[f] = append(atomicUses[f], use{pos: sel.Pos(), enclosed: enclosingDecl(decls, sel.Pos())})
+				}
+				consumed[sel.Pos()] = true
+			}
+			return true
+		})
+
+		// Aliasing a typed atomic with & shares the cell without
+		// touching its value — the sanctioned way to hand one atomic
+		// to several owners. Mark those selectors before the plain
+		// sweep.
+		ast.Inspect(file, func(n ast.Node) bool {
+			un, ok := n.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			if f, sel := fieldSelector(pass, un.X); f != nil && isAtomicValueType(f.Type()) {
+				consumed[sel.Pos()] = true
+			}
+			return true
+		})
+
+		// Pass B: every remaining field selector is a plain use.
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f, _ := fieldSelector(pass, sel)
+			if f == nil || consumed[sel.Pos()] {
+				return true
+			}
+			plainUses[f] = append(plainUses[f], use{pos: sel.Pos(), enclosed: enclosingDecl(decls, sel.Pos())})
+			return true
+		})
+	}
+
+	for f, plains := range plainUses {
+		if isAtomicValueType(f.Type()) {
+			for _, p := range plains {
+				pass.Reportf(p.pos,
+					"field %s has atomic type %s but is used as a plain value here; go through its Load/Store/Add methods",
+					f.Name(), typeShort(f.Type()))
+			}
+			continue
+		}
+		atomics := atomicUses[f]
+		if len(atomics) == 0 {
+			continue
+		}
+		first := pass.Fset.Position(atomics[0].pos)
+		for _, p := range plains {
+			if constructorExempt(p.enclosed) {
+				continue
+			}
+			pass.Reportf(p.pos,
+				"field %s is accessed via sync/atomic (e.g. %s:%d) but read or written plainly here; mixed access is a data race",
+				f.Name(), shortPath(first.Filename), first.Line)
+		}
+	}
+	return nil, nil
+}
+
+// fieldSelector resolves expr to a struct-field selection, returning
+// the field object and the selector node, or (nil, nil).
+func fieldSelector(pass *analysis.Pass, expr ast.Expr) (*types.Var, *ast.SelectorExpr) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil, nil
+	}
+	return v, sel
+}
+
+// isAtomicPkgCall matches calls of the form atomic.XxxInt64(...) etc.
+func isAtomicPkgCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// isAtomicMethod reports whether id resolves to a method declared on a
+// sync/atomic type (Load, Store, Add, Swap, CompareAndSwap, ...).
+func isAtomicMethod(pass *analysis.Pass, id *ast.Ident) bool {
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() != nil
+}
+
+// isAtomicValueType reports whether t is (directly) one of the typed
+// atomics — atomic.Int64, atomic.Bool, atomic.Pointer[T], ... A
+// *atomic.Pointer[T] field is a plain pointer and is not matched.
+func isAtomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// declRanges indexes the file's function declarations by body range.
+type declRange struct {
+	pos, end token.Pos
+	name     string
+}
+
+func declRanges(file *ast.File) []declRange {
+	var out []declRange
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, declRange{fd.Body.Pos(), fd.Body.End(), fd.Name.Name})
+		}
+	}
+	return out
+}
+
+func enclosingDecl(decls []declRange, pos token.Pos) string {
+	for _, d := range decls {
+		if pos > d.pos && pos < d.end {
+			return d.name
+		}
+	}
+	return ""
+}
+
+// constructorExempt: plain writes during construction happen before the
+// value is shared, so they cannot race with atomic readers.
+func constructorExempt(name string) bool {
+	if name == "init" || name == "main" {
+		return true
+	}
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+func typeShort(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

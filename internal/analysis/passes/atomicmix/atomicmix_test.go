@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/analysis/analysistest"
+	"rankjoin/internal/analysis/passes/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "a")
+}

@@ -1,0 +1,81 @@
+// Package a exercises the atomicmix analyzer: function-style atomics
+// mixed with plain access, typed atomics used as plain values, and the
+// clean all-atomic and all-plain shapes.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64        // function-style atomic elsewhere
+	total int64        // plain everywhere: fine
+	seq   atomic.Int64 // typed atomic, misused below
+	gauge atomic.Int64 // typed atomic, used correctly
+	drops int64        // atomic everywhere: fine
+}
+
+func (c *counters) observe() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.drops, 1)
+	c.total++
+	c.seq.Add(1)
+	c.gauge.Store(7)
+}
+
+// snapshot reads hits plainly while observe mutates it atomically.
+func (c *counters) snapshot() int64 {
+	return c.hits // want `field hits is accessed via sync/atomic .* but read or written plainly here`
+}
+
+// reset writes hits plainly outside a constructor.
+func (c *counters) reset() {
+	c.hits = 0 // want `field hits is accessed via sync/atomic .* but read or written plainly here`
+}
+
+// newCounters is exempt: plain initialization before the value is
+// shared cannot race.
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 0
+	return c
+}
+
+// lastSeq copies a typed atomic: always a finding.
+func (c *counters) lastSeq() int64 {
+	v := c.seq // want `field seq has atomic type atomic\.Int64 but is used as a plain value here`
+	return v.Load()
+}
+
+// aliasSeq shares the cell by address: the sanctioned multi-owner
+// idiom, clean.
+func aliasSeq(c *counters) *atomic.Int64 {
+	return &c.seq
+}
+
+// remote holds a shared cell; calling through the pointer is atomic
+// access to the cell, and nil-checking the pointer itself is plain
+// pointer use, not a finding.
+type remote struct {
+	cell *atomic.Int64
+}
+
+func (r *remote) bump() {
+	if r.cell != nil {
+		r.cell.Add(1)
+	}
+}
+
+// drain reads drops atomically and total plainly: both clean.
+func (c *counters) drain() int64 {
+	return atomic.LoadInt64(&c.drops) + c.total
+}
+
+// readGauge goes through the typed API: clean.
+func (c *counters) readGauge() int64 {
+	return c.gauge.Load()
+}
+
+// debugDump documents a reviewed exception (single-goroutine test
+// teardown path).
+func (c *counters) debugDump() int64 {
+	return c.hits //ranklint:ignore called only after all writer goroutines are joined
+}

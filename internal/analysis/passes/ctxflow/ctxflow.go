@@ -1,0 +1,226 @@
+// Package ctxflow defines the ranklint analyzer guarding context
+// propagation on the request path: a function that receives a
+// context.Context must thread it — not mint a fresh root — into the
+// RPCs, waits and goroutines it drives, and the cluster/server/wal
+// packages may not reach for context.Background()/TODO() outside
+// constructors at all.
+//
+// The runtime symptom this front-runs: a peer RPC or replication poll
+// built on context.Background() keeps running after the caller gave up
+// or the component closed — Close() hangs on goroutines nothing can
+// cancel, deadlines silently stop propagating across the scatter-
+// gather fan-out, and slow-peer back-pressure disappears. The sanctioned
+// pattern is a constructor-owned root context (canceled in Close)
+// derived everywhere else.
+//
+// Three rules:
+//
+//  1. Everywhere: inside a function whose (or whose enclosing
+//     function's) signature carries a context.Context, calling
+//     context.Background() or context.TODO() is a finding — derive
+//     from the parameter instead.
+//
+//  2. In request-path packages (cluster, server, wal): Background/TODO
+//     anywhere outside main/init and constructor-shaped functions
+//     (New*, Open*) is a finding. Function literals are their own
+//     scope: a closure built inside a constructor runs later, on the
+//     request or background path, and gets no exemption.
+//
+//  3. Everywhere: passing a literal nil where a callee expects a
+//     context.Context is a finding.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rankjoin/internal/analysis"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "check that request-path code threads its context.Context instead of minting context.Background()/TODO()",
+	Run:  run,
+}
+
+// requestPathPkgs names the packages whose non-constructor code must
+// never mint a root context.
+var requestPathPkgs = map[string]bool{
+	"cluster": true,
+	"server":  true,
+	"wal":     true,
+}
+
+// funcScope is one function-shaped region: a declaration or a literal.
+type funcScope struct {
+	pos, end token.Pos
+	hasCtx   bool
+	name     string // declaration name; "" for literals
+	isLit    bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	requestPath := requestPathPkgs[pass.Pkg.Name()]
+	for _, file := range pass.Files {
+		scopes := collectScopes(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkNilContext(pass, call)
+			name, ok := backgroundCall(pass, call)
+			if !ok {
+				return true
+			}
+			enclosing := enclosingScopes(scopes, call.Pos())
+			if len(enclosing) == 0 {
+				return true // package-level initializer
+			}
+			for _, s := range enclosing {
+				if s.hasCtx {
+					pass.Reportf(call.Pos(),
+						"context.%s() inside a function that receives a context.Context; derive from the parameter so cancellation propagates", name)
+					return true
+				}
+			}
+			if !requestPath {
+				return true
+			}
+			inner := enclosing[len(enclosing)-1]
+			if inner.isLit {
+				pass.Reportf(call.Pos(),
+					"context.%s() in a request-path closure; closures outlive their constructor — use a root context owned by the component and canceled on Close", name)
+				return true
+			}
+			if !constructorExempt(inner.name) {
+				pass.Reportf(call.Pos(),
+					"context.%s() in request-path function %s; thread the caller's context or derive from a constructor-owned root", name, inner.name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectScopes indexes every function declaration and literal of the
+// file with its range and whether its own signature carries a context.
+func collectScopes(pass *analysis.Pass, file *ast.File) []funcScope {
+	var scopes []funcScope
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return true
+			}
+			scopes = append(scopes, funcScope{
+				pos: n.Body.Pos(), end: n.Body.End(),
+				hasCtx: signatureHasContext(pass.TypeOf(n.Name)),
+				name:   n.Name.Name,
+			})
+		case *ast.FuncLit:
+			scopes = append(scopes, funcScope{
+				pos: n.Body.Pos(), end: n.Body.End(),
+				hasCtx: signatureHasContext(pass.TypeOf(n)),
+				isLit:  true,
+			})
+		}
+		return true
+	})
+	return scopes
+}
+
+// enclosingScopes returns the scopes containing pos, outermost first.
+func enclosingScopes(scopes []funcScope, pos token.Pos) []funcScope {
+	var out []funcScope
+	for _, s := range scopes {
+		if pos > s.pos && pos < s.end {
+			out = append(out, s)
+		}
+	}
+	// collectScopes appends in traversal (outer-before-inner) order for
+	// nested functions, so out is already outermost-first.
+	return out
+}
+
+// constructorExempt reports whether a declaration may legitimately mint
+// a root context: process entry points and constructors wiring the
+// component's lifecycle root.
+func constructorExempt(name string) bool {
+	if name == "main" || name == "init" {
+		return true
+	}
+	for _, prefix := range []string{"New", "new", "Open", "open"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// backgroundCall matches context.Background() / context.TODO().
+func backgroundCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkNilContext flags literal nil passed for a context.Context
+// parameter.
+func checkNilContext(pass *analysis.Pass, call *ast.CallExpr) {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			continue
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj == nil || obj.Parent() != types.Universe {
+			continue
+		}
+		if i < sig.Params().Len() && isContextType(sig.Params().At(i).Type()) {
+			pass.Reportf(arg.Pos(),
+				"nil context passed to %s; pass the caller's ctx (or a constructor-owned root)",
+				analysis.ExprString(call.Fun))
+		}
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// signatureHasContext reports whether t is a function type with a
+// context.Context parameter.
+func signatureHasContext(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

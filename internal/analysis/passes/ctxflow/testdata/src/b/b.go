@@ -1,0 +1,36 @@
+// Package b exercises ctxflow outside the request-path packages: only
+// rule 1 (Background inside a ctx-receiving function) and rule 3 (nil
+// ctx argument) apply; free-standing Background is allowed here.
+package b
+
+import "context"
+
+func rpc(ctx context.Context, path string) error { return ctx.Err() }
+
+// mixed receives a ctx but mints a fresh root anyway.
+func mixed(ctx context.Context) error {
+	return rpc(context.Background(), "/x") // want `context\.Background\(\) inside a function that receives a context\.Context`
+}
+
+// spawned closures inherit the obligation from the enclosing signature.
+func spawned(ctx context.Context) {
+	go func() {
+		_ = rpc(context.Background(), "/x") // want `context\.Background\(\) inside a function that receives a context\.Context`
+	}()
+}
+
+// freeRoot has no ctx parameter and b is not a request-path package:
+// minting a root is fine here.
+func freeRoot() error {
+	return rpc(context.Background(), "/x")
+}
+
+// nilArg is flagged everywhere.
+func nilArg() error {
+	return rpc(nil, "/x") // want `nil context passed to rpc`
+}
+
+// variadic-free sanity: nil for a non-context parameter is fine.
+func take(m map[string]int) {}
+
+func nilMap() { take(nil) }

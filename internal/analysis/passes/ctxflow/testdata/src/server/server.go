@@ -1,0 +1,93 @@
+// Package server exercises ctxflow inside a request-path package
+// (matched by package name): fresh roots in handlers, poll loops and
+// constructor-registered closures, plus the clean constructor-owned
+// root shapes.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+type peer struct{}
+
+func (p *peer) do(ctx context.Context, path string) error { return ctx.Err() }
+
+type Replica struct {
+	root   context.Context
+	cancel context.CancelFunc
+	hook   func()
+}
+
+// NewReplica mints the lifecycle root: constructors are exempt.
+func NewReplica() *Replica {
+	r := &Replica{}
+	r.root, r.cancel = context.WithCancel(context.Background())
+	return r
+}
+
+// NewLoggedReplica registers a hook closure; the closure runs on the
+// request path later, so the Background inside it is still a finding.
+func NewLoggedReplica() *Replica {
+	r := NewReplica()
+	r.hook = func() {
+		_ = context.Background() // want `context\.Background\(\) in a request-path closure`
+	}
+	return r
+}
+
+// Close cancels the root: the canonical teardown.
+func (r *Replica) Close() { r.cancel() }
+
+// handle receives a ctx and must derive from it.
+func (r *Replica) handle(ctx context.Context, p *peer) error {
+	fresh, cancel := context.WithTimeout(context.Background(), time.Second) // want `context\.Background\(\) inside a function that receives a context\.Context`
+	defer cancel()
+	return p.do(fresh, "/v1/search")
+}
+
+// handleGood threads the caller's context.
+func (r *Replica) handleGood(ctx context.Context, p *peer) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return p.do(tctx, "/v1/search")
+}
+
+// pollLoop mirrors the replication follower bug: a goroutine loop
+// minting a fresh root every tick that nothing can cancel.
+func (r *Replica) pollLoop(p *peer) {
+	go func() {
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `context\.Background\(\) in a request-path closure`
+			_ = p.do(ctx, "/v1/wal/pull")
+			cancel()
+		}
+	}()
+}
+
+// pollLoopGood derives every tick from the constructor-owned root.
+func (r *Replica) pollLoopGood(p *peer) {
+	go func() {
+		for {
+			ctx, cancel := context.WithTimeout(r.root, time.Second)
+			_ = p.do(ctx, "/v1/wal/pull")
+			cancel()
+		}
+	}()
+}
+
+// warm is a plain request-path function with no ctx parameter at all.
+func (r *Replica) warm(p *peer) error {
+	return p.do(context.TODO(), "/v1/stats") // want `context\.TODO\(\) in request-path function warm`
+}
+
+// nilCtx passes a literal nil where a context is expected.
+func (r *Replica) nilCtx(p *peer) error {
+	return p.do(nil, "/v1/stats") // want `nil context passed to p\.do`
+}
+
+// detach documents a reviewed exception: a best-effort trace flush
+// that must survive request cancellation.
+func (r *Replica) detach(p *peer) error {
+	return p.do(context.Background(), "/v1/trace/flush") //ranklint:ignore trace flush is fire-and-forget and must outlive the request
+}

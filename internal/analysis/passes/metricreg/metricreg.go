@@ -1,0 +1,125 @@
+// Package metricreg defines the ranklint analyzer keeping the
+// Prometheus exposition surface coherent: every series name written
+// through an obs.MetricWriter (Value, Int, Histogram) must be declared
+// exactly once with Metric(name, type, help), and every declaration
+// must actually be written.
+//
+// The failure modes it catches ship silently otherwise: a sample with
+// no preceding # HELP/# TYPE block scrapes as an untyped orphan and
+// breaks dashboards that key off the type; a series declared twice
+// emits duplicate metadata blocks, which some scrapers reject
+// wholesale; a declared-but-never-written series is dead weight that
+// masks a renamed emission site.
+//
+// Only string-literal series names participate. Computed names (the
+// writer's own internal name+"_bucket" suffixing, loops over label
+// sets) are invisible to the analyzer by design — the contract is that
+// handler code names its series literally, which the existing
+// /metrics handlers all do.
+//
+// The check is per package: declaration and write may live in
+// different functions (the cluster and durability sections of the
+// metrics handler are separate methods) but must share a package.
+package metricreg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"rankjoin/internal/analysis"
+)
+
+// Analyzer is the metricreg pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricreg",
+	Doc:  "check that every metric series written via obs.MetricWriter is declared exactly once with HELP/TYPE",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	declares := make(map[string][]token.Pos)
+	writes := make(map[string][]token.Pos)
+	var names []string // first-seen order, for deterministic iteration
+
+	note := func(m map[string][]token.Pos, name string, pos token.Pos) {
+		if len(declares[name]) == 0 && len(writes[name]) == 0 {
+			names = append(names, name)
+		}
+		m[name] = append(m[name], pos)
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isMetricWriterMethod(pass, sel.Sel) {
+				return true
+			}
+			name, ok := literalName(call)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Metric":
+				note(declares, name, call.Pos())
+			case "Value", "Int", "Histogram":
+				note(writes, name, call.Pos())
+			}
+			return true
+		})
+	}
+
+	for _, name := range names {
+		decls, ws := declares[name], writes[name]
+		for _, pos := range decls[min(1, len(decls)):] {
+			pass.Reportf(pos, "series %s is declared more than once; HELP/TYPE must be emitted exactly once per scrape", name)
+		}
+		if len(decls) == 0 {
+			for _, pos := range ws {
+				pass.Reportf(pos, "series %s is written without a Metric(name, type, help) declaration; it scrapes as an untyped orphan", name)
+			}
+		}
+		if len(ws) == 0 && len(decls) > 0 {
+			pass.Reportf(decls[0], "series %s is declared but never written in this package; drop the declaration or emit the sample", name)
+		}
+	}
+	return nil, nil
+}
+
+// isMetricWriterMethod reports whether id resolves to a method whose
+// receiver is a type named MetricWriter (matched by name so fixtures
+// and the real obs package both participate).
+func isMetricWriterMethod(pass *analysis.Pass, id *ast.Ident) bool {
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "MetricWriter"
+}
+
+// literalName extracts a string-literal first argument.
+func literalName(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return s, err == nil
+}

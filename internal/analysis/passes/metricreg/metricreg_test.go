@@ -1,0 +1,12 @@
+package metricreg_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/analysis/analysistest"
+	"rankjoin/internal/analysis/passes/metricreg"
+)
+
+func TestMetricReg(t *testing.T) {
+	analysistest.Run(t, metricreg.Analyzer, "a")
+}

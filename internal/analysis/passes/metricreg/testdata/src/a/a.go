@@ -1,0 +1,63 @@
+// Package a exercises the metricreg analyzer: undeclared writes,
+// duplicate declarations, dead declarations, cross-function pairing,
+// and computed names staying out of scope.
+package a
+
+type Label struct{ K, V string }
+
+type HistogramSnapshot struct{}
+
+// MetricWriter mirrors obs.MetricWriter (matched by type name).
+type MetricWriter struct{ err error }
+
+func (m *MetricWriter) Metric(name, typ, help string)                                   {}
+func (m *MetricWriter) Value(name string, v float64, labels ...Label)                   {}
+func (m *MetricWriter) Int(name string, v int64, labels ...Label)                       {}
+func (m *MetricWriter) Histogram(name string, s HistogramSnapshot, per float64, labels ...Label) {}
+
+// writeCore declares and writes in the same function: clean.
+func writeCore(m *MetricWriter) {
+	m.Metric("rankjoin_requests_total", "counter", "Requests served.")
+	m.Int("rankjoin_requests_total", 1)
+
+	m.Metric("rankjoin_latency_seconds", "histogram", "Request latency.")
+	m.Histogram("rankjoin_latency_seconds", HistogramSnapshot{}, 1)
+}
+
+// writeCluster declares here, writes in writeClusterSamples: clean —
+// the pairing is per package, not per function.
+func writeCluster(m *MetricWriter) {
+	m.Metric("rankjoin_peer_up", "gauge", "Peer liveness.")
+}
+
+func writeClusterSamples(m *MetricWriter) {
+	m.Value("rankjoin_peer_up", 1)
+}
+
+// writeOrphan emits a sample nothing declared.
+func writeOrphan(m *MetricWriter) {
+	m.Int("rankjoin_orphan_total", 1) // want `series rankjoin_orphan_total is written without a Metric\(name, type, help\) declaration`
+}
+
+// declareTwice duplicates the metadata block.
+func declareTwice(m *MetricWriter) {
+	m.Metric("rankjoin_dup_total", "counter", "Dup.")
+	m.Metric("rankjoin_dup_total", "counter", "Dup.") // want `series rankjoin_dup_total is declared more than once`
+	m.Int("rankjoin_dup_total", 1)
+}
+
+// declareDead declares a series no code writes.
+func declareDead(m *MetricWriter) {
+	m.Metric("rankjoin_dead_total", "counter", "Dead.") // want `series rankjoin_dead_total is declared but never written in this package`
+}
+
+// computed names are out of scope by design.
+func writeComputed(m *MetricWriter, name string) {
+	m.Value(name+"_bucket", 1)
+}
+
+// legacyShim documents a reviewed exception: the series is declared by
+// a sidecar exporter outside this package.
+func legacyShim(m *MetricWriter) {
+	m.Int("rankjoin_legacy_total", 1) //ranklint:ignore declared by the fleet-wide exporter shim during migration
+}

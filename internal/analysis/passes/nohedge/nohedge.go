@@ -1,0 +1,100 @@
+// Package nohedge defines the ranklint analyzer guarding the cluster
+// write path's exactly-one-apply contract: no call path from a cluster
+// mutation handler may reach a hedged RPC primitive.
+//
+// internal/cluster's peerClient exposes three RPC tiers: do (timer
+// hedge + fast-fail retry), doSlow (fast-fail retry) and doMutate
+// (exactly one attempt). Reads hedge freely — a duplicate search is
+// just wasted work — but a hedged mutation can apply twice, which is
+// how a cluster silently double-inserts under timeout pressure.
+// TestMutateNeverHedges pins this at runtime for the paths it happens
+// to drive; this analyzer proves the absence of any such path over the
+// static call graph, including paths through helpers, goroutine
+// closures and method values.
+//
+// Roots are the mutation entry points by name (clusterInsert,
+// clusterDelete, handleClusterInsert, handleClusterDelete, UpsertPeer,
+// DeletePeer); sinks are methods named do, doSlow or doHedged declared
+// on a type that also declares doMutate — the signature of a tiered
+// RPC client. The finding is reported at the first call of the
+// offending chain, with the full path in the message.
+package nohedge
+
+import (
+	"go/types"
+
+	"rankjoin/internal/analysis"
+)
+
+// Analyzer is the nohedge pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nohedge",
+	Doc:  "check that cluster mutation handlers never reach a hedged RPC (exactly-one-apply contract)",
+	Run:  run,
+}
+
+// mutationRoots names the cluster mutation entry points. Matching is
+// exact: these are the handlers whose reachability set must exclude
+// every hedged primitive.
+var mutationRoots = map[string]bool{
+	"clusterInsert":       true,
+	"clusterDelete":       true,
+	"handleClusterInsert": true,
+	"handleClusterDelete": true,
+	"UpsertPeer":          true,
+	"DeletePeer":          true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	g := pass.Graph
+	if g == nil {
+		return nil, nil
+	}
+	for _, n := range g.Decls() {
+		// The graph spans every package of the run; report only for
+		// roots declared in the package being analyzed.
+		if n.Pkg.Types != pass.Pkg || !mutationRoots[n.Obj.Name()] {
+			continue
+		}
+		if hedgedRPC(n) {
+			continue // a root cannot be its own sink
+		}
+		path := g.PathTo(n, hedgedRPC)
+		if path == nil {
+			continue
+		}
+		pass.Reportf(path[0].Pos,
+			"mutation handler %s reaches hedged RPC %s (path %s); mutations must go through doMutate so they apply exactly once",
+			n.ShortName(), path[len(path)-1].Callee.ShortName(), analysis.PathString(n, path))
+	}
+	return nil, nil
+}
+
+// hedgedRPC identifies the hedged tiers of an RPC client: a method
+// named do, doSlow or doHedged on a type that also has a doMutate
+// method (the marker distinguishing peerClient-shaped clients from
+// incidental `do` methods elsewhere).
+func hedgedRPC(n *analysis.FuncNode) bool {
+	name := n.Obj.Name()
+	if name != "do" && name != "doSlow" && name != "doHedged" {
+		return false
+	}
+	recv := n.Obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "doMutate" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package nohedge_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/analysis/analysistest"
+	"rankjoin/internal/analysis/passes/nohedge"
+)
+
+func TestNoHedge(t *testing.T) {
+	analysistest.Run(t, nohedge.Analyzer, "a")
+}

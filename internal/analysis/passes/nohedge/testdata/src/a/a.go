@@ -1,0 +1,62 @@
+// Package a exercises the nohedge analyzer: mutation handlers reaching
+// hedged RPC tiers directly, through helpers and through goroutine
+// closures, against the doMutate path and read paths that may hedge.
+package a
+
+import "context"
+
+type peer struct{ n int }
+
+func (p *peer) do(ctx context.Context) error       { p.n++; return nil }
+func (p *peer) doSlow(ctx context.Context) error   { p.n++; return nil }
+func (p *peer) doHedged(ctx context.Context) error { p.n++; return nil }
+func (p *peer) doMutate(ctx context.Context) error { p.n++; return nil }
+
+// plain has a do method but no doMutate: not an RPC client, never a
+// sink.
+type plain struct{ n int }
+
+func (p *plain) do(ctx context.Context) error { p.n++; return nil }
+
+type server struct {
+	p  *peer
+	pl *plain
+}
+
+func (s *server) clusterInsert(ctx context.Context) error {
+	return s.p.do(ctx) // want `mutation handler \(\*a\.server\)\.clusterInsert reaches hedged RPC \(\*a\.peer\)\.do `
+}
+
+func (s *server) clusterDelete(ctx context.Context) error {
+	return s.route(ctx) // want `mutation handler \(\*a\.server\)\.clusterDelete reaches hedged RPC .* \(path .*route.*\)`
+}
+
+func (s *server) route(ctx context.Context) error { return s.p.doSlow(ctx) }
+
+func (s *server) handleClusterDelete(ctx context.Context) error {
+	go func() { _ = s.p.do(ctx) }() // want `mutation handler \(\*a\.server\)\.handleClusterDelete reaches hedged RPC`
+	return nil
+}
+
+// handleClusterInsert is the clean shape: the mutation tier only.
+func (s *server) handleClusterInsert(ctx context.Context) error {
+	return s.p.doMutate(ctx)
+}
+
+// searchPeer is a read path: hedging reads is the design.
+func (s *server) searchPeer(ctx context.Context) error {
+	return s.p.do(ctx)
+}
+
+// UpsertPeer calling a non-client do method is fine.
+func (s *server) UpsertPeer(ctx context.Context) error {
+	return s.pl.do(ctx)
+}
+
+type gateway struct{ p *peer }
+
+// DeletePeer documents a reviewed exception via the suppression
+// directive.
+func (g *gateway) DeletePeer(ctx context.Context) error {
+	return g.p.doSlow(ctx) //ranklint:ignore test-only gateway, never deployed against a live ring
+}

@@ -8,8 +8,10 @@ import (
 )
 
 // TestAllAnalyzersOnCleanPackage is the negative test: a package that
-// uses spans, locks, map iteration and sentinel errors idiomatically
-// must produce zero findings under every registered analyzer.
+// uses spans, locks, map iteration, sentinel errors, hedged reads,
+// WAL write hooks, contexts, atomics, annotated arena kernels and
+// metric writers idiomatically must produce zero findings under every
+// registered analyzer.
 func TestAllAnalyzersOnCleanPackage(t *testing.T) {
 	for _, a := range passes.All() {
 		t.Run(a.Name, func(t *testing.T) {
@@ -21,7 +23,11 @@ func TestAllAnalyzersOnCleanPackage(t *testing.T) {
 // TestRegistry pins the analyzer set: adding or removing a pass should
 // be a conscious act that also updates DESIGN.md §10.
 func TestRegistry(t *testing.T) {
-	want := []string{"ledgertally", "lockcopy", "lockorder", "maporder", "spanend", "wraperr"}
+	want := []string{
+		"allocfree", "atomicmix", "ctxflow", "ledgertally", "lockcopy",
+		"lockorder", "maporder", "metricreg", "nohedge", "spanend",
+		"walack", "wraperr",
+	}
 	all := passes.All()
 	if len(all) != len(want) {
 		t.Fatalf("passes.All() returned %d analyzers, want %d", len(all), len(want))

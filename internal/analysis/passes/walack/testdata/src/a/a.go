@@ -1,0 +1,139 @@
+// Package a exercises the walack analyzer: fsync in the append phase,
+// dropped and late commit closures, fsync under the shard lock, and
+// the clean two-phase shapes.
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type Rec struct{ ID int }
+
+// WriteHook mirrors shard.WriteHook: append now, fsync via the
+// returned commit closure.
+type WriteHook func(Rec) func() error
+
+type wlog struct {
+	f   *os.File
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (l *wlog) append(r Rec) (int64, error) {
+	l.buf = append(l.buf, byte(r.ID))
+	return int64(len(l.buf)), nil
+}
+
+func (l *wlog) sync(lsn int64) error { return l.f.Sync() }
+
+type Index struct {
+	mu        sync.Mutex
+	writeHook WriteHook
+}
+
+func (x *Index) SetWriteHook(h WriteHook) { x.writeHook = h }
+
+func (x *Index) logLocked(r Rec) func() error {
+	if x.writeHook == nil {
+		return nil
+	}
+	return x.writeHook(r)
+}
+
+// attachBad syncs in the append phase: the hook runs under the shard
+// write lock.
+func attachBad(x *Index, l *wlog) {
+	x.SetWriteHook(func(r Rec) func() error {
+		lsn, _ := l.append(r)
+		_ = l.sync(lsn) // want `write-hook append phase calls l\.sync, which reaches an fsync`
+		return func() error { return nil }
+	})
+}
+
+// attachGood is the two-phase contract: append now, sync in the
+// returned commit closure.
+func attachGood(x *Index, l *wlog) {
+	x.SetWriteHook(func(r Rec) func() error {
+		lsn, err := l.append(r)
+		if err != nil {
+			return func() error { return err }
+		}
+		return func() error { return l.sync(lsn) }
+	})
+}
+
+// Insert is the clean mutation shape: log under the lock, commit after
+// unlock, ack last.
+func (x *Index) Insert(r Rec) error {
+	x.mu.Lock()
+	commit := x.logLocked(r)
+	x.mu.Unlock()
+	if commit != nil {
+		return commit()
+	}
+	return nil
+}
+
+// InsertDropped acks without ever running the barrier.
+func (x *Index) InsertDropped(r Rec) error {
+	x.mu.Lock()
+	commit := x.logLocked(r) // want `commit closure commit is never invoked`
+	x.mu.Unlock()
+	_ = commit
+	return nil
+}
+
+// InsertBlank discards the closure outright.
+func (x *Index) InsertBlank(r Rec) error {
+	_ = x.logLocked(r) // want `commit closure from x\.logLocked is discarded`
+	return nil
+}
+
+// InsertEarlyAck has a success return racing the barrier.
+func (x *Index) InsertEarlyAck(r Rec) error {
+	x.mu.Lock()
+	commit := x.logLocked(r)
+	x.mu.Unlock()
+	if r.ID < 0 {
+		return nil // want `success return before commit closure commit runs`
+	}
+	if commit != nil {
+		return commit()
+	}
+	return nil
+}
+
+// logAndHand transfers the barrier obligation to its caller: clean.
+func (x *Index) logAndHand(r Rec) func() error {
+	commit := x.logLocked(r)
+	return commit
+}
+
+// InsertSyncLocked fsyncs while holding the shard lock.
+func (x *Index) InsertSyncLocked(r Rec, l *wlog) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	commit := x.logLocked(r)
+	if commit != nil {
+		return commit()
+	}
+	_ = l.sync(1) // want `l\.sync reaches an fsync while the shard lock is held`
+	return nil
+}
+
+// Rotate documents a reviewed exception: the rotation cut needs the
+// lock for an exact segment boundary.
+func (x *Index) Rotate(l *wlog) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return l.sync(0) //ranklint:ignore rotation cut needs the lock for an exact segment boundary; rare path
+}
+
+// plainLog has no write hook: its mutex is not a shard lock and may
+// wrap fsyncs (group-commit internals do exactly this).
+func (l *wlog) rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}

@@ -1,0 +1,12 @@
+package walack_test
+
+import (
+	"testing"
+
+	"rankjoin/internal/analysis/analysistest"
+	"rankjoin/internal/analysis/passes/walack"
+)
+
+func TestWalAck(t *testing.T) {
+	analysistest.Run(t, walack.Analyzer, "a")
+}

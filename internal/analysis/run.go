@@ -72,22 +72,44 @@ func (s *ignoreSet) suppressed(path string, line int) bool {
 	return ls != nil && (ls[line] || ls[line-1])
 }
 
+// A Result is one full runner invocation's outcome: the surviving
+// findings plus, per analyzer, how many diagnostics a reasoned
+// //ranklint:ignore directive waived — the audit trail CI artifacts
+// carry so suppressions stay visible.
+type Result struct {
+	Findings   []Finding      `json:"findings"`
+	Suppressed map[string]int `json:"suppressed,omitempty"`
+}
+
 // Run applies every analyzer to every package, resolves positions,
 // applies suppression directives and returns the surviving findings
 // sorted by (path, line, col, analyzer).
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	res, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// RunAll is Run plus per-analyzer suppression counts. The call graph
+// over pkgs is built once and shared by every pass.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	graph := BuildCallGraph(pkgs)
+	res := &Result{Suppressed: make(map[string]int)}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg)
 		findings = append(findings, ignores.malformed...)
 		for _, a := range analyzers {
-			diags, err := runOne(pkg, a)
+			diags, err := runOne(pkg, a, graph)
 			if err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 			for _, d := range diags {
 				pos := pkg.Fset.Position(d.Pos)
 				if ignores.suppressed(pos.Filename, pos.Line) {
+					res.Suppressed[a.Name]++
 					continue
 				}
 				findings = append(findings, Finding{
@@ -113,10 +135,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Message < b.Message
 	})
-	return findings, nil
+	res.Findings = findings
+	return res, nil
 }
 
-func runOne(pkg *Package, a *Analyzer) (diags []Diagnostic, err error) {
+func runOne(pkg *Package, a *Analyzer, graph *CallGraph) (diags []Diagnostic, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("analyzer panicked: %v", r)
@@ -128,6 +151,7 @@ func runOne(pkg *Package, a *Analyzer) (diags []Diagnostic, err error) {
 		Files:     pkg.Syntax,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
+		Graph:     graph,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
 	}
 	if _, err := a.Run(pass); err != nil {

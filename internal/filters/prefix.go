@@ -18,6 +18,8 @@ import "math"
 //
 // Rankings overlapping in fewer than ω items are guaranteed to be
 // farther apart than maxDist. The result is clamped to [0, k].
+//
+//ranklint:allocfree
 func MinOverlap(maxDist, k int) int {
 	w := int(math.Ceil(0.5 * (1 + 2*float64(k) - math.Sqrt(1+4*float64(maxDist)))))
 	if w < 0 {

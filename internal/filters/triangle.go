@@ -6,6 +6,8 @@ package filters
 
 // TriangleLower returns the tightest lower bound on d(x, y) obtainable
 // from a shared pivot c: |d(x, c) − d(y, c)|.
+//
+//ranklint:allocfree
 func TriangleLower(dxc, dyc int) int {
 	l := dxc - dyc
 	if l < 0 {
@@ -20,6 +22,8 @@ func TriangleUpper(dxc, dcy int) int { return dxc + dcy }
 // TrianglePrune reports whether a candidate pair (x, y) with pivot
 // distances dxc and dyc can be discarded for threshold maxDist:
 // |d(x,c) − d(y,c)| > F implies d(x,y) > F.
+//
+//ranklint:allocfree
 func TrianglePrune(dxc, dyc, maxDist int) bool {
 	return TriangleLower(dxc, dyc) > maxDist
 }

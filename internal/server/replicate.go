@@ -147,6 +147,12 @@ type Replica struct {
 	lastSyncNano   atomic.Int64
 	lastErr        atomic.Pointer[string]
 
+	// root is the lifecycle context every poll derives from; Close
+	// cancels it, aborting any in-flight sync instead of waiting out
+	// its timeout.
+	root       context.Context
+	rootCancel context.CancelFunc
+
 	startOnce sync.Once
 	stop      chan struct{}
 	done      chan struct{}
@@ -168,7 +174,7 @@ func NewReplica(addr string, idx *shard.Index, every time.Duration, client *http
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
-	return &Replica{
+	r := &Replica{
 		leader: addr,
 		idx:    idx,
 		every:  every,
@@ -177,6 +183,8 @@ func NewReplica(addr string, idx *shard.Index, every time.Duration, client *http
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	r.root, r.rootCancel = context.WithCancel(context.Background())
+	return r
 }
 
 // ProbeLeader asks the leader at addr for its index shape — the
@@ -317,7 +325,7 @@ func (r *Replica) Start() {
 				case <-r.stop:
 					return
 				case <-t.C:
-					ctx, cancel := context.WithTimeout(context.Background(), r.every*10+time.Second)
+					ctx, cancel := context.WithTimeout(r.root, r.every*10+time.Second)
 					if err := r.SyncOnce(ctx); err != nil {
 						r.logger.Warn("replica sync failed", "leader", r.leader, "err", err)
 					}
@@ -328,9 +336,10 @@ func (r *Replica) Start() {
 	})
 }
 
-// Close stops the poll loop.
+// Close stops the poll loop and aborts any in-flight sync.
 func (r *Replica) Close() {
 	r.Start() // ensure done will be closed
+	r.rootCancel()
 	select {
 	case <-r.stop:
 	default:

@@ -108,9 +108,13 @@ type Config struct {
 // Server is the rankserved request handler. Create with New, mount
 // Handler, and Close when done.
 type Server struct {
-	idx      *shard.Index
-	cache    *queryCache
-	batch    *batcher
+	idx *shard.Index
+	// baseCtx is the server's lifecycle root: hooks and other
+	// non-request callbacks that need a context log against it instead
+	// of minting their own.
+	baseCtx context.Context
+	cache   *queryCache
+	batch   *batcher
 	timeout  time.Duration
 	maxJoin  int
 	maxBody  int64
@@ -152,6 +156,7 @@ type endpointStats struct {
 	latency obs.Histogram // microseconds
 }
 
+//ranklint:allocfree
 func (e *endpointStats) observe(d time.Duration, failed bool) {
 	e.mu.Lock()
 	e.count++
@@ -213,6 +218,7 @@ func New(cfg Config) *Server {
 	now := time.Now()
 	s := &Server{
 		idx:         idx,
+		baseCtx:     context.Background(),
 		cache:       newQueryCache(cacheSize),
 		timeout:     timeout,
 		maxJoin:     maxJoin,
@@ -235,7 +241,7 @@ func New(cfg Config) *Server {
 	idx.SetRePivotHook(func(e shard.RePivotEvent) {
 		s.rePivotTotal.Add(1)
 		s.rePivotDur.Observe(e.Dur.Microseconds())
-		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "re-pivot",
+		s.logger.LogAttrs(s.baseCtx, slog.LevelInfo, "re-pivot",
 			slog.Int("shard", e.Shard), slog.Int("size", e.Size),
 			slog.Int("pivots", e.Pivots), slog.Int("churn", e.Churn),
 			slog.Duration("dur", e.Dur))
@@ -362,6 +368,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // statusOf maps a handler error to the HTTP status it produces — the
 // single source of truth shared by the wire mapping (finish) and the
 // request logs.
+//
+//ranklint:allocfree
 func statusOf(err error) int {
 	if err == nil {
 		return http.StatusOK

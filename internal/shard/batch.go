@@ -95,27 +95,29 @@ func (x *Index) NewBatch() *Batch {
 	return b
 }
 
+//ranklint:allocfree
 func (b *Batch) runShard(i int) {
 	s := b.x.shards[i]
 	so := &b.so[i]
 	if b.span != nil {
-		t := b.span.StartTask(b.x.spanNames[i], obs.Int("size", int64(s.Len())))
+		t := b.span.StartTask(b.x.spanNames[i], obs.Int("size", int64(s.Len()))) //ranklint:ignore sampled-trace branch; the zero-alloc contract covers the span==nil path
 		s.sweepPhase1(b.qs, b.qsig, b.qpop, so, b.twoPhase)
-		t.SetInt("hits", int64(len(so.neighbors)))
-		t.End()
+		t.SetInt("hits", int64(len(so.neighbors))) //ranklint:ignore sampled-trace branch
+		t.End()                                    //ranklint:ignore sampled-trace branch
 	} else {
 		s.sweepPhase1(b.qs, b.qsig, b.qpop, so, b.twoPhase)
 	}
 }
 
+//ranklint:allocfree
 func (b *Batch) runShard2(i int) {
 	s := b.x.shards[i]
 	so := &b.so[i]
 	if b.span != nil {
-		t := b.span.StartTask(b.x.spanNames[i], obs.Int("phase", 2))
+		t := b.span.StartTask(b.x.spanNames[i], obs.Int("phase", 2)) //ranklint:ignore sampled-trace branch; the zero-alloc contract covers the span==nil path
 		s.sweepPhase2(b.qs, b.gb, so)
-		t.SetInt("hits", int64(len(so.neighbors)))
-		t.End()
+		t.SetInt("hits", int64(len(so.neighbors))) //ranklint:ignore sampled-trace branch
+		t.End()                                    //ranklint:ignore sampled-trace branch
 	} else {
 		s.sweepPhase2(b.qs, b.gb, so)
 	}
@@ -127,6 +129,8 @@ func (b *Batch) runShard2(i int) {
 // were verified at or below it. Queries whose probes came up short
 // (tiny shards, oversized k) fall back to MaxFootrule, which rejects
 // nothing.
+//
+//ranklint:allocfree
 func (b *Batch) globalBounds(qs []Query) {
 	b.gb = growCap(b.gb, len(qs))
 	for qi := range qs {
@@ -162,10 +166,12 @@ func (b *Batch) globalBounds(qs []Query) {
 // The returned slices alias the Batch arena and are valid only until
 // the next call on b. Queries' rankings get their position index built
 // as a side effect.
+//
+//ranklint:allocfree
 func (b *Batch) SearchBatchInto(qs []Query, span *obs.Span) ([][]Neighbor, error) {
 	hasKNN := false
 	for i := range qs {
-		if err := b.x.checkQuery(qs[i].R); err != nil {
+		if err := b.x.checkQuery(qs[i].R); err != nil { //ranklint:ignore checkQuery allocates only when building the rejection error for an invalid query
 			return nil, err
 		}
 		// Index once, before the fan-out shares the query across
@@ -231,6 +237,8 @@ func (b *Batch) SearchBatchInto(qs []Query, span *obs.Span) ([][]Neighbor, error
 // SearchInto is Search answering into the Batch arena: every indexed
 // ranking within maxDist of q (minus exclude), sorted by (dist, id).
 // The result aliases the arena — valid until the next call on b.
+//
+//ranklint:allocfree
 func (b *Batch) SearchInto(q *rankings.Ranking, maxDist int, exclude int64) ([]Neighbor, error) {
 	b.one[0] = Query{R: q, MaxDist: maxDist, Exclude: exclude}
 	res, err := b.SearchBatchInto(b.one[:], nil)
@@ -243,9 +251,11 @@ func (b *Batch) SearchInto(q *rankings.Ranking, maxDist int, exclude int64) ([]N
 // KNNInto is KNN answering into the Batch arena: the n indexed
 // rankings closest to q (minus exclude), sorted by (dist, id). The
 // result aliases the arena — valid until the next call on b.
+//
+//ranklint:allocfree
 func (b *Batch) KNNInto(q *rankings.Ranking, n int, exclude int64) ([]Neighbor, error) {
 	if n <= 0 {
-		return nil, fmt.Errorf("shard: knn n must be positive, got %d", n)
+		return nil, fmt.Errorf("shard: knn n must be positive, got %d", n) //ranklint:ignore error construction for an invalid argument, off the steady-state path
 	}
 	b.one[0] = Query{R: q, KNN: n, Exclude: exclude}
 	res, err := b.SearchBatchInto(b.one[:], nil)

@@ -15,12 +15,16 @@ type resultHeap struct {
 
 // reset re-arms the heap for a new query of capacity n, keeping the
 // backing array.
+//
+//ranklint:allocfree
 func (h *resultHeap) reset(n int) {
 	h.cap = n
 	h.ns = h.ns[:0]
 }
 
 // worse orders the heap: a is a strictly worse result than b.
+//
+//ranklint:allocfree
 func worse(a, b Neighbor) bool {
 	if a.Dist != b.Dist {
 		return a.Dist > b.Dist
@@ -29,6 +33,8 @@ func worse(a, b Neighbor) bool {
 }
 
 // cmpNeighbor is the ascending (dist, id) order of every result list.
+//
+//ranklint:allocfree
 func cmpNeighbor(a, b Neighbor) int {
 	if a.Dist != b.Dist {
 		return a.Dist - b.Dist
@@ -42,14 +48,19 @@ func cmpNeighbor(a, b Neighbor) int {
 	return 0
 }
 
+//ranklint:allocfree
 func (h *resultHeap) full() bool { return len(h.ns) >= h.cap }
 
 // worst returns the distance of the current worst kept neighbor; only
 // meaningful when full().
+//
+//ranklint:allocfree
 func (h *resultHeap) worst() int { return h.ns[0].Dist }
 
 // push offers a neighbor; when full, it replaces the root only if the
 // newcomer is strictly better.
+//
+//ranklint:allocfree
 func (h *resultHeap) push(n Neighbor) {
 	if h.cap <= 0 {
 		return
@@ -65,6 +76,7 @@ func (h *resultHeap) push(n Neighbor) {
 	}
 }
 
+//ranklint:allocfree
 func (h *resultHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -76,6 +88,7 @@ func (h *resultHeap) up(i int) {
 	}
 }
 
+//ranklint:allocfree
 func (h *resultHeap) down(i int) {
 	n := len(h.ns)
 	for {
@@ -97,6 +110,8 @@ func (h *resultHeap) down(i int) {
 
 // appendSorted sorts the kept neighbors into ascending (dist, id) order
 // and appends them to dst, leaving the heap reusable via reset.
+//
+//ranklint:allocfree
 func (h *resultHeap) appendSorted(dst []Neighbor) []Neighbor {
 	slices.SortFunc(h.ns, cmpNeighbor)
 	return append(dst, h.ns...)
